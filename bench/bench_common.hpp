@@ -1,0 +1,54 @@
+// Shared plumbing for the figure-reproduction benches: CLI size caps and
+// CSV sidecar output next to the textual tables.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mixradix/harness/microbench.hpp"
+
+namespace bench {
+
+/// Parse "--max-size=<bytes>" / "--reps=<n>" / "--csv=<path>" flags; the
+/// defaults reproduce the paper's axes but can be shrunk for smoke runs.
+struct Options {
+  std::int64_t max_size = 512ll << 20;
+  int repetitions = 2;
+  std::string csv_path;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--max-size=", 0) == 0) {
+        o.max_size = std::stoll(arg.substr(11));
+      } else if (arg.rfind("--reps=", 0) == 0) {
+        o.repetitions = std::stoi(arg.substr(7));
+      } else if (arg.rfind("--csv=", 0) == 0) {
+        o.csv_path = arg.substr(6);
+      } else {
+        std::cerr << "unknown flag: " << arg
+                  << " (known: --max-size=B --reps=N --csv=PATH)\n";
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+inline void emit(const std::string& figure, const Options& opts,
+                 const std::vector<mr::harness::SweepSeries>& single,
+                 const std::vector<mr::harness::SweepSeries>& simultaneous,
+                 const std::string& title) {
+  mr::harness::print_figure(std::cout, title, single, simultaneous);
+  if (!opts.csv_path.empty()) {
+    std::ofstream csv(opts.csv_path);
+    mr::harness::write_figure_csv(csv, figure, single, simultaneous);
+    std::cout << "csv written to " << opts.csv_path << "\n";
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,93 @@
+// Ablation: how much of each figure's effect is due to (a) the collective
+// algorithm choice and (b) the memory-contention model — the design
+// decisions DESIGN.md calls out.
+//
+// For each collective algorithm variant, prints the packed vs spread
+// mapping times for a 16-process communicator on 16 Hydra nodes, alone and
+// with all 32 communicators running. Pin one algorithm at a time the way
+// the paper pins "the choice of the algorithm ... is left free" but
+// verifies fixed algorithms "show similar trends".
+#include <iomanip>
+#include <iostream>
+
+#include "mixradix/mr/metrics.hpp"
+#include "mixradix/simmpi/collectives.hpp"
+#include "mixradix/simmpi/timed_executor.hpp"
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace {
+
+using namespace mr;
+
+double run_orders(const topo::Machine& machine, const simmpi::Schedule& coll,
+                  const Order& order, std::int64_t comm_size, bool all) {
+  const auto placement = placement_of_new_ranks(machine.hierarchy(), order);
+  const std::int64_t ncomms = all ? machine.cores() / comm_size : 1;
+  std::vector<simmpi::JobSpec> jobs;
+  for (std::int64_t k = 0; k < ncomms; ++k) {
+    simmpi::JobSpec job;
+    job.schedule = &coll;
+    for (std::int64_t j = 0; j < comm_size; ++j) {
+      job.core_of_rank.push_back(
+          placement[static_cast<std::size_t>(k * comm_size + j)]);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return simmpi::run_timed(machine, jobs).makespan;
+}
+
+void report(const topo::Machine& machine, const char* name,
+            const simmpi::Schedule& coll) {
+  const Order spread = parse_order("0-1-2-3");
+  const Order packed = parse_order("3-2-1-0");
+  std::cout << "  " << std::left << std::setw(30) << name;
+  for (bool all : {false, true}) {
+    const double t_spread = run_orders(machine, coll, spread, 16, all);
+    const double t_packed = run_orders(machine, coll, packed, 16, all);
+    std::cout << "  " << (all ? "32 comms:" : " 1 comm:") << " spread "
+              << std::setw(8) << util::format_fixed(t_spread * 1e6, 0)
+              << " us, packed " << std::setw(8)
+              << util::format_fixed(t_packed * 1e6, 0) << " us |";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = topo::hydra(16);
+  const std::int64_t count = 32 * 1024;  // 256 KB per rank pair block
+
+  std::cout << "== Ablation A — collective algorithm choice (Hydra, 512 "
+               "procs, comms of 16) ==\n";
+  report(machine, "alltoall_pairwise", mr::simmpi::alltoall_pairwise(16, count));
+  report(machine, "alltoall_bruck", mr::simmpi::alltoall_bruck(16, count));
+  report(machine, "alltoall_linear", mr::simmpi::alltoall_linear(16, count));
+  report(machine, "allgather_ring", mr::simmpi::allgather_ring(16, count));
+  report(machine, "allgather_recursive_doubling",
+         mr::simmpi::allgather_recursive_doubling(16, count));
+  report(machine, "allgather_bruck", mr::simmpi::allgather_bruck(16, count));
+  report(machine, "allreduce_ring", mr::simmpi::allreduce_ring(16, count * 16));
+  report(machine, "allreduce_recursive_doubling",
+         mr::simmpi::allreduce_recursive_doubling(16, count * 16));
+
+  std::cout << "\n== Ablation B — memory-contention model on/off (same "
+               "setup, alltoall_pairwise) ==\n";
+  // Without per-domain memory ceilings, packed mappings look free of self-
+  // contention and the single-communicator crossover of Figs. 3/5 vanishes.
+  auto no_mem_levels = machine.levels();
+  for (auto& level : no_mem_levels) level.mem_bandwidth = 0;
+  const topo::Machine no_mem("hydra-nomem", std::move(no_mem_levels),
+                             machine.costs(), machine.core_flops());
+  report(machine, "with memory model", mr::simmpi::alltoall_pairwise(16, count));
+  report(no_mem, "without memory model", mr::simmpi::alltoall_pairwise(16, count));
+
+  std::cout << "\nreading: packed times should match between the 1-comm and "
+               "32-comm columns\n(contention immunity); spread should "
+               "collapse by >5x in the 32-comm column.\nWithout the memory "
+               "model, packed wins everywhere and the paper's\nsingle-"
+               "communicator shape disappears — the ablation justifying the "
+               "memory channels.\n";
+  return 0;
+}

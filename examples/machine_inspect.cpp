@@ -1,0 +1,42 @@
+// Machine inspection: presets, host discovery, and hierarchy surgery.
+//
+//   $ ./machine_inspect
+//
+// Shows the bundled machine models (the paper's Hydra and LUMI), tries to
+// discover the host's own hierarchy from sysfs (the hwloc substitute), and
+// demonstrates the fake-level / network-level hierarchy transformations
+// of §3.2.
+#include <iostream>
+
+#include "mixradix/topo/discover.hpp"
+#include "mixradix/topo/presets.hpp"
+
+int main() {
+  using namespace mr;
+
+  for (const auto& machine :
+       {topo::hydra(16), topo::hydra(32, 2), topo::lumi(16), topo::lumi_node(),
+        topo::testbox()}) {
+    std::cout << machine.describe() << "\n";
+  }
+
+  std::cout << "this host: ";
+  if (const auto host = topo::discover_host()) {
+    std::cout << host->to_string() << " (from sysfs)\n";
+  } else {
+    std::cout << "not discoverable or heterogeneous — provide a hierarchy "
+                 "manually\n";
+  }
+
+  // §3.2 hierarchy surgery: fake levels and network levels.
+  const Hierarchy socket16{16, 2, 16};
+  std::cout << "\n" << socket16.to_string() << " with each 16-core socket "
+            << "faked as 2 x 8: "
+            << socket16.with_split_level(2, 2).to_string() << "\n";
+  const Hierarchy node{2, 2, 8};
+  std::cout << node.to_string() << " behind a 2 x 3 x 16 switch tree: "
+            << node.with_prefix_levels({2, 3, 16}).to_string() << " ("
+            << node.with_prefix_levels({2, 3, 16}).total()
+            << " cores; needs exactly 96 nodes, §3.2)\n";
+  return 0;
+}

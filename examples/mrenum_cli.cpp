@@ -1,0 +1,81 @@
+// mrenum: a command-line front end to the enumeration algorithms — what a
+// cluster user would actually invoke from a job script.
+//
+//   $ ./mrenum rank --hierarchy 2:2:4 --order 0-2-1 --rank 10
+//   $ ./mrenum rankfile --hierarchy 16:2:2:8 --order 1-3-2-0
+//   $ ./mrenum map_cpu --hierarchy 2:4:2:8 --order 2-1-0-3 --nprocs 16
+//   $ ./mrenum orders --hierarchy 2:2:4 --comm-size 4
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "mixradix/mr/core_select.hpp"
+#include "mixradix/mr/equivalence.hpp"
+#include "mixradix/mr/reorder.hpp"
+#include "mixradix/slurm/distribution.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: mrenum <command> [--hierarchy H] [--order O] [--rank R]\n"
+      "              [--nprocs N] [--comm-size S]\n"
+      "commands:\n"
+      "  rank      new rank of --rank under --order\n"
+      "  rankfile  Open MPI rankfile realising --order on --hierarchy\n"
+      "  map_cpu   Slurm --cpu-bind list selecting --nprocs cores per node\n"
+      "  orders    all orders with metrics and Slurm equivalents\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mr;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  const auto flag = [&](const char* name, const char* fallback) {
+    const auto it = flags.find(name);
+    return it == flags.end() ? std::string(fallback) : it->second;
+  };
+
+  try {
+    const Hierarchy h = Hierarchy::parse(flag("hierarchy", "2:2:4"));
+    if (command == "rank") {
+      const Order order = parse_order(flag("order", "0-1-2"));
+      const std::int64_t rank = std::stoll(flag("rank", "0"));
+      std::cout << reorder_rank(h, rank, order) << "\n";
+    } else if (command == "rankfile") {
+      const Order order = parse_order(flag("order", "0-1-2"));
+      std::cout << ReorderPlan(h, order).rankfile();
+    } else if (command == "map_cpu") {
+      const Order order = parse_order(flag("order", "0-1-2"));
+      const std::int64_t n = std::stoll(flag("nprocs", "1"));
+      std::cout << "--cpu-bind=" << map_cpu_string(select_cores(h, order, n))
+                << "\n";
+    } else if (command == "orders") {
+      const std::int64_t comm_size =
+          std::stoll(flag("comm-size", std::to_string(h.total()).c_str()));
+      for (const Order& order : all_orders_lexicographic(h.depth())) {
+        const auto ch = characterize_order(h, order, comm_size);
+        const auto dist = slurm::equivalent_distribution(h, order);
+        std::cout << ch.to_string() << "  distribution="
+                  << (dist ? dist->to_string() : "-") << "\n";
+      }
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

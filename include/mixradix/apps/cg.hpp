@@ -1,0 +1,84 @@
+// NAS Parallel Benchmarks CG proxy (Fig. 9 substrate).
+//
+// NPB-CG solves Ax = b with conjugate gradients on a random sparse matrix,
+// partitioned over a 2-D power-of-two process grid. It is strongly
+// memory-bound, which is exactly why the paper's core-*selection* use case
+// shows large effects: picking one core per L3 gives each process a whole
+// cache/memory port, while Slurm's default block packing starves them.
+//
+// The proxy reproduces:
+//  * the class geometries (S/A/B/C problem sizes, NPB iteration counts),
+//  * the NPB process grid (rows x cols, rows >= cols) and its per-matvec
+//    communication pattern (log2(cols) row-reduce exchanges + transpose
+//    swap + dot-product allreduces),
+//  * a roofline compute model per process: compute time is the max of the
+//    FLOP time and the memory time, where a process's sustainable memory
+//    bandwidth is the min over its enclosing domains of (domain bandwidth /
+//    active processes in the domain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mixradix/simmpi/schedule.hpp"
+#include "mixradix/topo/machine.hpp"
+
+namespace mr::apps::cg {
+
+/// NPB problem classes.
+struct CgClass {
+  char name = 'C';
+  std::int64_t n = 0;          ///< matrix dimension.
+  std::int64_t nnz = 0;        ///< nonzeros (approximate NPB value).
+  int iterations = 0;          ///< outer CG iterations.
+  int inner_per_iteration = 25;///< cg sub-iterations per outer iteration.
+};
+
+/// S, A, B or C.
+CgClass cg_class(char name);
+
+/// The NPB 2-D grid for p processes (p must be a power of two):
+/// rows >= cols, rows * cols == p.
+struct Grid {
+  std::int32_t rows = 1;
+  std::int32_t cols = 1;
+};
+Grid npb_grid(std::int32_t p);
+
+/// Sustainable memory bandwidth (bytes/s) of the process bound to
+/// `my_core`, given every active core of the job on this machine: the min
+/// over all levels with a memory model of level_bandwidth / active cores in
+/// my component at that level.
+double process_mem_bandwidth(const topo::Machine& machine,
+                             const std::vector<std::int64_t>& active_cores,
+                             std::int64_t my_core);
+
+/// Roofline estimate of one process's compute time for one CG inner
+/// iteration (matvec + vector updates) at job size p.
+double compute_seconds(const CgClass& klass, std::int32_t p, double core_flops,
+                       double mem_bandwidth);
+
+/// Communication+compute schedule for `inner_iters` CG inner iterations on
+/// p processes with the given per-rank compute times.
+simmpi::Schedule cg_schedule(const CgClass& klass, std::int32_t p,
+                             const std::vector<double>& compute_time_per_rank,
+                             int inner_iters);
+
+struct CgResult {
+  double seconds = 0;          ///< full-benchmark wall time estimate.
+  double compute_seconds = 0;  ///< roofline compute portion (max over ranks).
+  double comm_seconds = 0;     ///< the rest.
+};
+
+/// Simulate the full benchmark on `machine` with process r bound to
+/// core_list[r]. Simulates `sim_inner_iters` inner iterations in the
+/// network simulator and extrapolates to the class's full iteration count.
+CgResult simulate_cg(const topo::Machine& machine, const CgClass& klass,
+                     const std::vector<std::int64_t>& core_list,
+                     int sim_inner_iters = 4);
+
+/// Serial (1-process) estimate, the numerator of the perfect-scaling line.
+double serial_seconds(const topo::Machine& machine, const CgClass& klass);
+
+}  // namespace mr::apps::cg

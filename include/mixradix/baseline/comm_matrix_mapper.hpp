@@ -1,0 +1,38 @@
+// Baseline: communication-matrix-driven process mapping.
+//
+// The paper's related-work section (§2) contrasts the mixed-radix
+// technique — application-oblivious, h! candidate mappings — with tools
+// like TreeMatch/TopoMatch that consume a measured communication matrix
+// and the machine tree to compute one tailored placement. This module
+// implements that baseline: a bottom-up greedy tree matching (the
+// TreeMatch family's core idea) so the benches can compare "enumerate
+// orders and pick" against "solve for a placement from the matrix".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mixradix/mr/hierarchy.hpp"
+
+namespace mr::baseline {
+
+/// Symmetric communication volumes between ranks; volume[i][j] in bytes
+/// (only i != j entries are read; the matrix is symmetrised internally).
+using CommMatrix = std::vector<std::vector<double>>;
+
+/// Bottom-up greedy tree matching: starting at the innermost hierarchy
+/// level, repeatedly bundle the `radix` items with the largest mutual
+/// volume into one group (seeded by the heaviest communicator), collapse
+/// groups into super-nodes with summed volumes, and recurse to the top.
+/// Returns core_of_rank: rank r runs on core core_of_rank[r]. Requires
+/// h.total() == volume.size().
+std::vector<std::int64_t> map_by_comm_matrix(const Hierarchy& h,
+                                             const CommMatrix& volume);
+
+/// Mapping quality metric: total volume weighted by the hop cost of each
+/// pair's placement (lower is better). Comparable across placements of the
+/// same matrix on the same hierarchy.
+double weighted_hop_cost(const Hierarchy& h, const CommMatrix& volume,
+                         const std::vector<std::int64_t>& core_of_rank);
+
+}  // namespace mr::baseline

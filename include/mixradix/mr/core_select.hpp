@@ -1,0 +1,58 @@
+// Second use case (§3.4): selecting cores for jobs that do not use every
+// core of a node — Algorithm 3 of the paper, which generates the explicit
+// core list for Slurm's --cpu-bind=map_cpu:<list> and thereby extends
+// --distribution to every hierarchy level (NUMA, L3, fake levels, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mixradix/mr/hierarchy.hpp"
+#include "mixradix/mr/permutation.hpp"
+
+namespace mr {
+
+/// Algorithm 3: the list `l` of physical core IDs such that the process
+/// with node-local rank r binds to core l[r]. `h` is the hierarchy of ONE
+/// compute node, `n` the number of cores to use per node (1 <= n <= total).
+std::vector<std::int64_t> select_cores(const Hierarchy& h, const Order& order,
+                                       std::int64_t n);
+
+/// Render a selection as the Slurm option value "map_cpu:0,8,16,...".
+std::string map_cpu_string(const std::vector<std::int64_t>& cores);
+
+/// The selected cores in ascending ID order (the *set*, ignoring rank
+/// assignment). Orders producing equal sets differ only in rank mapping —
+/// the color groups of Fig. 9.
+std::vector<std::int64_t> sorted_core_set(std::vector<std::int64_t> cores);
+
+/// Compact "0-3,8-11,64-67" rendering of a sorted core set, as printed
+/// next to the bars of Fig. 9.
+std::string core_set_ranges(const std::vector<std::int64_t>& sorted_cores);
+
+/// Effective hierarchy formed by a selected core set (§3.4: picking both
+/// first sockets of ⟦2,2,4⟧ yields ⟦2,4⟧). Defined only when the set is
+/// "rectangular" — a cartesian product of per-level coordinate subsets —
+/// otherwise std::nullopt. Levels contributing a single coordinate are
+/// dropped; a fully-selected machine returns `h` itself.
+std::optional<Hierarchy> selected_hierarchy(const Hierarchy& h,
+                                            const std::vector<std::int64_t>& sorted_cores);
+
+/// One order's selection outcome, used to enumerate Fig. 9 configurations.
+struct SelectionOutcome {
+  Order order;
+  std::vector<std::int64_t> core_list;  ///< rank -> core id (Algorithm 3).
+  std::vector<std::int64_t> core_set;   ///< ascending ids.
+};
+
+/// Evaluate every order of `h` for `n` cores and drop duplicates that give
+/// the *identical rank->core list* (they are indistinguishable even at the
+/// MPI level). Outcomes are grouped by core set: outcomes sharing a set are
+/// adjacent, and groups appear in order of first discovery — matching how
+/// Fig. 9 clusters bars by color.
+std::vector<SelectionOutcome> enumerate_selections(const Hierarchy& h,
+                                                   std::int64_t n);
+
+}  // namespace mr

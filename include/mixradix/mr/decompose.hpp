@@ -1,0 +1,57 @@
+// Mixed-radix decomposition and recomposition of ranks — Algorithms 1 and 2
+// of the paper (Equations (1) and (2)).
+//
+// decompose() turns a rank into per-level coordinates; for rank 10 on
+// ⟦2, 2, 4⟧ the result is [1, 0, 2]: node 1, socket 0, core 2. compose()
+// rebuilds a rank from coordinates under a level permutation σ, which is
+// the whole reordering trick: enumerating the levels in a different order
+// renumbers every core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mixradix/mr/hierarchy.hpp"
+
+namespace mr {
+
+/// Per-level coordinates of a rank. coords[i] is the index within level i,
+/// with i = 0 the outermost level (same orientation as Hierarchy).
+using Coords = std::vector<int>;
+
+/// Identity order [0, 1, ..., d-1].
+std::vector<int> identity_order(int depth);
+
+/// The order that makes compose() invert decompose(): [d-1, ..., 1, 0].
+/// (The paper notes Algorithm 2 with [2,1,0] is the inverse of Algorithm 1
+/// for a 3-level hierarchy.)
+std::vector<int> inverse_of_decompose_order(int depth);
+
+/// Algorithm 1: rank -> coordinates. `rank` must lie in [0, h.total()).
+Coords decompose(const Hierarchy& h, std::int64_t rank);
+
+/// Algorithm 2 / Equation (2): coordinates + permutation -> new rank.
+///   r = c[σ(0)] + Σ_{i>=1} c[σ(i)] · Π_{j<i} h[σ(j)]
+/// `order` must be a permutation of [0, h.depth()).
+std::int64_t compose(const Hierarchy& h, const Coords& coords,
+                     const std::vector<int>& order);
+
+/// compose() with the natural order that undoes decompose().
+std::int64_t compose(const Hierarchy& h, const Coords& coords);
+
+/// One-call reordering of a single rank: decompose then compose under
+/// `order`. This is "ComputeNewRank" used by Algorithm 3.
+std::int64_t reorder_rank(const Hierarchy& h, std::int64_t rank,
+                          const std::vector<int>& order);
+
+/// Apply reorder_rank to every rank: result[old_rank] = new_rank.
+/// The result is always a permutation of [0, h.total()).
+std::vector<std::int64_t> reorder_all_ranks(const Hierarchy& h,
+                                            const std::vector<int>& order);
+
+/// Inverse mapping: result[new_rank] = old_rank (i.e. which original core
+/// carries each reordered rank). Useful to draw Fig. 2-style layouts.
+std::vector<std::int64_t> placement_of_new_ranks(const Hierarchy& h,
+                                                 const std::vector<int>& order);
+
+}  // namespace mr

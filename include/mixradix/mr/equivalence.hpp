@@ -1,0 +1,50 @@
+// Order equivalence (§3.3): different orders can yield the same — or a
+// performance-equivalent — mapping of subcommunicators, so evaluating all
+// h! orders is redundant. E.g. on ⟦2,2,4⟧, orders [2,0,1] and [2,1,0] only
+// swap which socket hosts which communicator; absent inter-communicator
+// traffic they perform identically. Orders [0,1,2] and [1,0,2] place
+// communicators on the same cores but number the ranks inside differently,
+// which can matter for rank-order-sensitive collectives.
+//
+// We expose three granularities of "the same":
+//  * ExactPlacement          — identical rank->core map (trivially equal);
+//  * SameSetsAndInternal     — the multiset of (core sequence per comm) is
+//                              equal, i.e. communicators may be exchanged
+//                              but each keeps its internal rank order;
+//  * SameSetsOnly            — the multiset of core *sets* is equal; the
+//                              internal order may differ (the paper's
+//                              "similar" orders, distinguishable by ring
+//                              cost but not by pair percentages).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mixradix/mr/hierarchy.hpp"
+#include "mixradix/mr/metrics.hpp"
+#include "mixradix/mr/permutation.hpp"
+
+namespace mr {
+
+enum class Equivalence {
+  ExactPlacement,
+  SameSetsAndInternal,
+  SameSetsOnly,
+};
+
+/// One equivalence class of orders for a fixed (hierarchy, comm size).
+struct OrderClass {
+  std::vector<Order> members;     ///< lexicographically first is the representative.
+  OrderCharacter representative;  ///< metrics of members.front().
+};
+
+/// Partition all h.depth()! orders into equivalence classes at the given
+/// granularity. Classes are sorted by their representative order.
+std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
+                                        Equivalence granularity);
+
+/// Representatives only — the reduced set of orders worth benchmarking.
+std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
+                                   Equivalence granularity);
+
+}  // namespace mr

@@ -1,0 +1,98 @@
+// Hierarchy: the mixed-radix base describing a machine's nesting structure.
+//
+// A hierarchy ⟦h0, h1, ..., h_{d-1}⟧ (paper notation J...K) lists, from the
+// outermost level inward, how many sub-components each component contains:
+// e.g. ⟦2, 2, 4⟧ is 2 nodes x 2 sockets x 4 cores (Fig. 1 of the paper).
+// The product of all radices is the total number of leaf resources and must
+// equal the number of MPI processes when used for rank reordering (§3.2
+// constraint 1); heterogeneous machines are rejected by construction
+// (constraint 2) because a single radix vector cannot describe them.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mr {
+
+/// Immutable radix vector with level names. Index 0 is the OUTERMOST level
+/// (nodes), index depth()-1 the innermost (cores), matching the paper.
+class Hierarchy {
+ public:
+  /// Construct from radices; every radix must be >= 2 (a strictly
+  /// greater-than-1 base is required for the decomposition to be unique).
+  /// Level names default to "level0", "level1", ...
+  explicit Hierarchy(std::vector<int> radices,
+                     std::vector<std::string> level_names = {});
+  Hierarchy(std::initializer_list<int> radices)
+      : Hierarchy(std::vector<int>(radices)) {}
+
+  /// Parse "2:2:4", "2,2,4", "2x2x4", or the paper's "[2, 2, 4]" forms.
+  static Hierarchy parse(std::string_view text);
+
+  /// Number of levels (|h| in the paper).
+  int depth() const noexcept { return static_cast<int>(radices_.size()); }
+
+  /// Total number of leaf resources: the product of all radices.
+  std::int64_t total() const noexcept { return total_; }
+
+  /// Radix of `level` (0 = outermost).
+  int radix(int level) const;
+  int operator[](int level) const { return radix(level); }
+
+  const std::vector<int>& radices() const noexcept { return radices_; }
+  const std::vector<std::string>& level_names() const noexcept { return names_; }
+  const std::string& level_name(int level) const;
+
+  /// Number of leaves under ONE component at `level` (product of radices
+  /// strictly below it). level == depth() is allowed and yields 1.
+  std::int64_t leaves_below(int level) const;
+
+  /// Number of components existing at `level` across the whole machine:
+  /// the product of radices [0, level]. E.g. for ⟦2,2,4⟧, components_at(0)
+  /// is 2 nodes, components_at(1) is 4 sockets, components_at(2) is 16 cores.
+  std::int64_t components_at(int level) const;
+
+  /// New hierarchy whose radices are this one's reordered by `order`:
+  /// result[i] = radix(order[i]). Used for the "permuted hierarchy" column
+  /// of Table 1. `order` must be a permutation of [0, depth()).
+  Hierarchy permuted(const std::vector<int>& order) const;
+
+  /// Split `level` (of radix r) into two nested levels ⟦outer, r/outer⟧ —
+  /// the paper's "fake level" trick (§3.2): a 16-core socket faked as
+  /// 2 groups of 8 explores more orders. `outer` must divide the radix.
+  Hierarchy with_split_level(int level, int outer,
+                             std::string_view outer_name = {}) const;
+
+  /// Prepend network levels outside the node level (§3.2), e.g. switches.
+  Hierarchy with_prefix_levels(const std::vector<int>& radices,
+                               std::vector<std::string> names = {}) const;
+
+  /// Keep only levels [first, depth()): e.g. the intra-node sub-hierarchy.
+  Hierarchy suffix(int first) const;
+
+  /// Paper-style rendering: "[2, 2, 4]".
+  std::string to_string() const;
+
+  /// Equality is structural: two hierarchies are equal iff their radix
+  /// vectors match. Level names are documentation, not identity.
+  friend bool operator==(const Hierarchy& a, const Hierarchy& b) {
+    return a.radices_ == b.radices_;
+  }
+
+ private:
+  std::vector<int> radices_;
+  std::vector<std::string> names_;
+  std::int64_t total_ = 1;
+};
+
+/// §3.2 constraint check for using `h` to reorder `nprocs` ranks: the
+/// product of radices must equal the process count. Returns a diagnostic
+/// string on failure, std::nullopt when valid.
+std::optional<std::string> validate_for_nprocs(const Hierarchy& h,
+                                               std::int64_t nprocs);
+
+}  // namespace mr

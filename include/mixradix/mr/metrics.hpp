@@ -1,0 +1,80 @@
+// Mapping metrics from §3.3 of the paper: the ring cost and the
+// percentages of process pairs per level.
+//
+// Both metrics characterise how one subcommunicator lands on the machine
+// under a given enumeration order, without running anything:
+//  * ring cost — cost of the chain rank0 -> rank1 -> ... -> rank_{p-1},
+//    where a hop inside the lowest level costs 1 and each additional
+//    hierarchy level crossed adds 1. Low = ranks assigned sequentially
+//    (locality in ring-like algorithms); high = round-robin assignment.
+//  * pairs per level — for every unordered pair of comm members, the
+//    innermost hierarchy level whose component contains both; reported as
+//    percentages from the lowest level to the outermost. High percentages
+//    at low levels = packed mapping; at the outermost level = spread.
+//
+// The figure legends of the paper (e.g. "0-1-2-3 (60 - 0.0, 0.0, 0.0,
+// 100.0)") are exactly these two metrics and serve as golden values in the
+// test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/mr/hierarchy.hpp"
+#include "mixradix/mr/permutation.hpp"
+
+namespace mr {
+
+/// Communication cost between two cores identified by coordinates: 1 if
+/// they share the lowest-level component, +1 per extra level crossed
+/// (depth - first-differing-level). Cost 0 iff same core.
+int hop_cost(const Hierarchy& h, const Coords& a, const Coords& b);
+
+/// Index of the innermost level whose component contains both cores:
+/// depth-1 if they share the lowest-level component, 0 if they only share
+/// the machine (differ already at the outermost level). Precondition: a != b.
+int innermost_common_level(const Hierarchy& h, const Coords& a, const Coords& b);
+
+/// Ring cost of a communicator whose member i runs on the core with
+/// coordinates `members[i]` (comm-rank order; no wrap-around hop).
+std::int64_t ring_cost(const Hierarchy& h, const std::vector<Coords>& members);
+
+/// Percentages of process pairs per level, from LOWEST level to OUTERMOST
+/// (the order used in the paper's legends). Size = h.depth(); sums to 100.
+std::vector<double> pair_percentages(const Hierarchy& h,
+                                     const std::vector<Coords>& members);
+
+/// Coordinates of the cores hosting subcommunicator `comm_index` when
+/// world ranks are reordered under `order` and split into consecutive
+/// blocks of `comm_size` reordered ranks (§3.2's quotient coloring).
+/// Element j is the core of comm-rank j.
+///
+/// Note: §4.1 of the paper writes the split color as "reordered_rank %
+/// subcomm_size"; that conflicts with §3.2 ("quotient of the division")
+/// and with Fig. 2's coloring, so we follow the quotient definition.
+std::vector<Coords> subcommunicator_coords(const Hierarchy& h, const Order& order,
+                                           std::int64_t comm_index,
+                                           std::int64_t comm_size);
+
+/// Ring cost + pair percentages of one order, computed on the first
+/// subcommunicator — the tuple printed in the paper's figure legends.
+struct OrderCharacter {
+  Order order;
+  std::int64_t ring_cost = 0;
+  std::vector<double> pair_pct;  ///< lowest level -> outermost.
+
+  /// Legend rendering: "1-3-2-0 (45 - 46.7, 0.0, 53.3, 0.0)".
+  std::string to_string() const;
+};
+
+OrderCharacter characterize_order(const Hierarchy& h, const Order& order,
+                                  std::int64_t comm_size);
+
+/// Scalar "spreadness" in [0, 1]: expected fraction of levels crossed per
+/// pair (0 = fully packed, 1 = every pair crosses every level). Handy for
+/// sorting orders in exploration tools.
+double spreadness(const Hierarchy& h, const std::vector<Coords>& members);
+
+}  // namespace mr

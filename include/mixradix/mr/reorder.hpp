@@ -1,0 +1,63 @@
+// First use case (§3.2): reordering the ranks of MPI_COMM_WORLD.
+//
+// Two deployment methods are modelled, matching the paper:
+//  1. MPI_Comm_split with the reordered rank as key (application opts in and
+//     uses the new communicator) — split_key()/split_color() compute the
+//     arguments;
+//  2. a rankfile consumed by the launcher (transparent to the application) —
+//     rankfile() emits Open MPI rankfile syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/mr/hierarchy.hpp"
+#include "mixradix/mr/permutation.hpp"
+
+namespace mr {
+
+/// A reordering of a world of h.total() ranks under a level permutation.
+class ReorderPlan {
+ public:
+  ReorderPlan(Hierarchy hierarchy, Order order);
+
+  const Hierarchy& hierarchy() const noexcept { return hierarchy_; }
+  const Order& order() const noexcept { return order_; }
+
+  /// New rank of `old_rank` (Algorithms 1 + 2).
+  std::int64_t new_rank(std::int64_t old_rank) const;
+
+  /// Original core/rank that carries `new_rank` after reordering.
+  std::int64_t placement(std::int64_t new_rank) const;
+
+  /// Arguments to MPI_Comm_split that realise the reordering on
+  /// MPI_COMM_WORLD: every process passes color 0 and its reordered rank
+  /// as the key.
+  int split_color() const noexcept { return 0; }
+  std::int64_t split_key(std::int64_t old_rank) const { return new_rank(old_rank); }
+
+  /// Color for the second split that carves consecutive blocks of
+  /// `comm_size` reordered ranks into subcommunicators (§3.2).
+  std::int64_t subcomm_color(std::int64_t old_rank, std::int64_t comm_size) const;
+
+  /// Rank within its subcommunicator after both splits.
+  std::int64_t subcomm_rank(std::int64_t old_rank, std::int64_t comm_size) const;
+
+  /// The full forward map: result[old_rank] = new_rank.
+  const std::vector<std::int64_t>& forward_map() const noexcept { return forward_; }
+
+  /// Open MPI rankfile: "rank R=+nK slot=C" lines placing each reordered
+  /// rank R on node K, core C. The node level is hierarchy level 0; cores
+  /// per node = leaves below level 1.
+  std::string rankfile() const;
+
+ private:
+  Hierarchy hierarchy_;
+  Order order_;
+  std::vector<std::int64_t> forward_;
+  std::vector<std::int64_t> placement_;
+};
+
+}  // namespace mr

@@ -1,0 +1,138 @@
+// Collective-operation schedule generators.
+//
+// Each generator compiles one textbook algorithm — the algorithms real MPI
+// implementations (Open MPI "tuned", MPICH) select from — into a Schedule.
+// `count` is in doubles (8 bytes each). Arena layouts are documented per
+// generator; DataExecutor tests pin down the exact semantics.
+//
+// All generators are pure functions of (p, count): rank ids are
+// communicator ranks, and the mapping onto machine cores is supplied later
+// to the TimedExecutor. This is what makes the paper's experiment shape
+// possible: the same schedule, replayed under different rank->core
+// mappings, exposes the mapping sensitivity of each algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mixradix/simmpi/schedule.hpp"
+
+namespace mr::simmpi {
+
+// ---- Alltoall ------------------------------------------------------------
+// Arena: in [0, p*c), out [p*c, 2*p*c), temp/pack space beyond (Bruck).
+// Semantics: out block j of rank i == in block i of rank j.
+
+/// Pairwise exchange: p-1 rounds; round r sends to (rank+r)%p and receives
+/// from (rank-r)%p (XOR partners when p is a power of two). The large-
+/// message workhorse.
+Schedule alltoall_pairwise(std::int32_t p, std::int64_t count);
+
+/// Bruck: ceil(log2 p) rounds of packed blocks; latency-optimal for small
+/// messages at the price of log(p) extra copies of the data.
+Schedule alltoall_bruck(std::int32_t p, std::int64_t count);
+
+/// Basic linear: every send/recv posted at once (single round).
+Schedule alltoall_linear(std::int32_t p, std::int64_t count);
+
+// ---- Allgather -----------------------------------------------------------
+// Arena: in [0, c), out [c, c + p*c), Bruck temp beyond.
+// Semantics: out block j == in of rank j.
+
+/// Ring: p-1 rounds, neighbour traffic only — the rank-order-sensitive one.
+Schedule allgather_ring(std::int32_t p, std::int64_t count);
+
+/// Recursive doubling (p must be a power of two): log2 p rounds of doubling
+/// block ranges with XOR partners.
+Schedule allgather_recursive_doubling(std::int32_t p, std::int64_t count);
+
+/// Bruck allgather: works for any p in ceil(log2 p) rounds.
+Schedule allgather_bruck(std::int32_t p, std::int64_t count);
+
+// ---- Allreduce -----------------------------------------------------------
+// Arena: in [0, c), out [c, 2c), temp [2c, 3c). Semantics: out == elementwise
+// sum over ranks of in.
+
+/// Recursive doubling with the standard non-power-of-two pre/post phase.
+Schedule allreduce_recursive_doubling(std::int32_t p, std::int64_t count);
+
+/// Ring reduce-scatter + ring allgather (Rabenseifner for rings):
+/// bandwidth-optimal for large vectors.
+Schedule allreduce_ring(std::int32_t p, std::int64_t count);
+
+// ---- Rooted collectives ---------------------------------------------------
+
+/// Binomial-tree broadcast. Arena: buf [0, c): input at root, output everywhere.
+Schedule bcast_binomial(std::int32_t p, std::int64_t count, std::int32_t root);
+
+/// Scatter + ring allgather (van de Geijn) for large broadcasts.
+Schedule bcast_scatter_allgather(std::int32_t p, std::int64_t count,
+                                 std::int32_t root);
+
+/// Binomial-tree reduce. Arena: in [0,c), out [c,2c) (valid at root),
+/// temp [2c,3c). Semantics: out at root == sum of in.
+Schedule reduce_binomial(std::int32_t p, std::int64_t count, std::int32_t root);
+
+/// Linear gather. Arena: in [0,c), out [c, c+p*c) at root.
+Schedule gather_linear(std::int32_t p, std::int64_t count, std::int32_t root);
+
+/// Linear scatter. Arena: in [0, p*c) at root, out [p*c, p*c+c).
+Schedule scatter_linear(std::int32_t p, std::int64_t count, std::int32_t root);
+
+/// Binomial-tree scatter (log p rounds, any root). Arena: in [0, p*c) at
+/// root, relative-order staging [p*c, 2p*c), out [2p*c, 2p*c + c).
+Schedule scatter_binomial(std::int32_t p, std::int64_t count, std::int32_t root);
+
+/// Binomial-tree gather, mirror of scatter_binomial. Arena: in [0, c),
+/// staging [c, c + p*c), out [c + p*c, c + 2p*c) at root.
+Schedule gather_binomial(std::int32_t p, std::int64_t count, std::int32_t root);
+
+/// Ring reduce-scatter (MPI_Reduce_scatter_block). Arena: in [0, p*c)
+/// (block j = contribution to rank j), accumulator [p*c, 2p*c), out
+/// [2p*c, 2p*c + c). out on rank r == elementwise sum of every rank's
+/// block r.
+Schedule reduce_scatter_ring(std::int32_t p, std::int64_t count);
+
+// ---- Scan / Barrier --------------------------------------------------------
+
+/// Inclusive scan (recursive doubling). Arena: in [0,c), out [c,2c),
+/// partial [2c,3c), temp [3c,4c). out_i == sum_{j<=i} in_j.
+Schedule scan_recursive_doubling(std::int32_t p, std::int64_t count);
+
+/// Dissemination barrier: ceil(log2 p) rounds of zero-byte messages.
+Schedule barrier_dissemination(std::int32_t p);
+
+// ---- Alltoallv --------------------------------------------------------------
+
+/// Pairwise alltoallv; counts[i][j] doubles flow from rank i to rank j.
+/// Arena per rank: send blocks (row-major prefix) then recv blocks.
+Schedule alltoallv_pairwise(const std::vector<std::vector<std::int64_t>>& counts);
+
+// ---- Selection --------------------------------------------------------------
+
+enum class Collective {
+  Alltoall,
+  Allgather,
+  Allreduce,
+  Bcast,
+  Reduce,
+  ReduceScatter,
+  Gather,
+  Scatter,
+  Scan,
+  Barrier,
+};
+
+/// Size-based algorithm selection mirroring common MPI defaults; `count`
+/// follows each collective's convention above, `eager_threshold` (bytes)
+/// separates the latency- from the bandwidth-regime algorithms.
+Schedule make_collective(Collective kind, std::int32_t p, std::int64_t count,
+                         std::int64_t eager_threshold = 16 * 1024,
+                         std::int32_t root = 0);
+
+/// Name of the algorithm make_collective would pick (reporting).
+std::string selected_algorithm(Collective kind, std::int32_t p, std::int64_t count,
+                               std::int64_t eager_threshold = 16 * 1024);
+
+}  // namespace mr::simmpi

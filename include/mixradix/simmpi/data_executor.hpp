@@ -1,0 +1,46 @@
+// DataExecutor: runs a Schedule for *semantics*, not timing.
+//
+// Each rank owns an arena of doubles; the executor moves real payloads so
+// tests can assert that, e.g., an allreduce schedule actually produces the
+// elementwise sum on every rank. Within a round, operations execute in the
+// order copies -> sends (payload snapshot) -> receives (combine), which is
+// the concurrency contract generators rely on: a region may be sent and
+// overwritten by a receive in the same round.
+#pragma once
+
+#include <vector>
+
+#include "mixradix/simmpi/schedule.hpp"
+
+namespace mr::simmpi {
+
+class DataExecutor {
+ public:
+  /// Takes its own copy of the schedule: executors outlive temporaries.
+  explicit DataExecutor(Schedule schedule);
+
+  /// Mutable arena of `rank` (size = schedule.arena_size), for initialising
+  /// inputs before run() and reading outputs after.
+  std::vector<double>& arena(std::int32_t rank);
+  const std::vector<double>& arena(std::int32_t rank) const;
+
+  /// Execute every round of every rank; throws mr::invalid_argument if the
+  /// schedule deadlocks (a receive whose matching send can never execute).
+  void run();
+
+ private:
+  bool round_ready(std::int32_t rank) const;
+  void execute_round(std::int32_t rank);
+
+  Schedule schedule_;
+  std::vector<std::vector<double>> arenas_;
+  std::vector<std::size_t> pc_;                     ///< next round per rank.
+  std::vector<std::vector<double>> mailbox_;        ///< payload per message.
+  std::vector<bool> delivered_;                     ///< message sent yet?
+};
+
+/// Apply `combine` elementwise: dst = dst (op) src.
+void combine_into(Combine combine, const double* src, double* dst,
+                  std::int64_t count);
+
+}  // namespace mr::simmpi

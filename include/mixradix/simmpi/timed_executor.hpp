@@ -1,0 +1,49 @@
+// TimedExecutor: replays communication schedules on the flow-level network
+// simulator to produce durations under contention.
+//
+// Several jobs (e.g. one collective per subcommunicator) run simultaneously
+// against one machine; each job binds its schedule's communicator ranks to
+// machine cores. Messages follow a LogGP-flavoured model:
+//   * per-round CPU serialisation: compute time + per-message send/recv
+//     overheads + local copy costs;
+//   * eager messages (<= eager_threshold bytes) start their network flow as
+//     soon as the sender posts; the sender completes immediately;
+//   * rendezvous messages start when BOTH sides have posted; the sender
+//     completes with the transfer;
+//   * every flow is delayed by the topological path latency and drains at
+//     the max-min fair rate of the channels it crosses (simnet).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mixradix/simmpi/schedule.hpp"
+#include "mixradix/topo/machine.hpp"
+
+namespace mr::simmpi {
+
+/// One communicator's collective bound to machine cores.
+struct JobSpec {
+  const Schedule* schedule = nullptr;
+  /// core_of_rank[r] = machine core hosting the schedule's rank r.
+  std::vector<std::int64_t> core_of_rank;
+  double start_time = 0;
+};
+
+struct TimedResult {
+  double makespan = 0;              ///< completion time of the last job.
+  std::vector<double> job_finish;   ///< per job, absolute completion time.
+  std::int64_t total_messages = 0;
+  std::int64_t total_flow_events = 0;
+};
+
+/// Run all jobs to completion; deterministic for identical inputs.
+TimedResult run_timed(const topo::Machine& machine,
+                      const std::vector<JobSpec>& jobs);
+
+/// Convenience: duration of a single collective on `machine` with the given
+/// rank->core binding.
+double run_timed_single(const topo::Machine& machine, const Schedule& schedule,
+                        std::vector<std::int64_t> core_of_rank);
+
+}  // namespace mr::simmpi

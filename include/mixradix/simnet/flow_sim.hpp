@@ -1,0 +1,126 @@
+// Flow-level network simulation with max-min fair bandwidth sharing.
+//
+// Every hierarchy component owns channels (egress/ingress/memory); a flow
+// occupies one channel set for its whole life and receives a rate
+// determined by progressive filling (water-filling): all flows grow
+// equally until some channel saturates, flows through that channel freeze
+// at the fair share, and the rest keep growing. This is the standard fluid
+// approximation of congestion-controlled transports and is what turns
+// "32 communicators spread over every node" into the NIC-sharing collapse
+// of the paper's Fig. 3.
+//
+// The simulation is event-driven: rates change only when a flow starts or
+// finishes, so between events every flow drains linearly. The
+// implementation is data-oriented — active flows live in dense parallel
+// arrays with inline channel sets — because simulating one collective can
+// mean hundreds of thousands of rate updates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mr::simnet {
+
+using ChannelId = std::int32_t;
+
+/// A completed flow, reported by advance_and_pop().
+struct Completion {
+  std::int64_t flow = 0;   ///< id returned by add_flow.
+  std::int64_t user = 0;   ///< caller-supplied cookie.
+  double time = 0;         ///< completion time (seconds).
+};
+
+class FlowSim {
+ public:
+  /// Most channels a single flow may cross (2 link sides + 2 memory sides
+  /// per hierarchy level, hierarchies up to 6 levels deep).
+  static constexpr int kMaxChannelsPerFlow = 24;
+
+  /// `capacities[c]` is the bytes/s capacity of channel c.
+  /// `completion_slack` trades exactness for speed: a flow whose residual
+  /// transfer time is within `slack * elapsed-horizon` of the earliest
+  /// completion finishes in the same event batch, slightly early. 0 (the
+  /// default) is exact; ~0.005 merges the long cascades of nearly-equal
+  /// completions that collective traffic produces, with a per-hop relative
+  /// timing error bounded by the slack.
+  explicit FlowSim(std::vector<double> capacities, double completion_slack = 0.0);
+
+  double now() const noexcept { return now_; }
+
+  /// Number of flows currently in the system.
+  std::size_t active_flows() const noexcept { return remaining_.size(); }
+
+  /// Start a flow of `bytes` over `channels` at the current time.
+  /// `channels` may be empty (infinite-capacity path) and may repeat ids
+  /// (deduplicated). Zero-byte flows complete at the current instant.
+  std::int64_t add_flow(std::vector<ChannelId> channels, double bytes,
+                        std::int64_t user);
+
+  /// Time at which the next flow will complete under current rates, or
+  /// std::nullopt when no flow is active.
+  std::optional<double> next_completion_time();
+
+  /// Advance the clock to exactly `t` (draining all flows linearly).
+  /// `t` must be >= now() and <= next_completion_time() when flows exist.
+  void advance_to(double t);
+
+  /// Advance to the next completion time and pop EVERY flow completing at
+  /// that instant (simultaneous completions batch into one rate update).
+  std::vector<Completion> advance_and_pop();
+
+  /// Current max-min fair rate of a flow (testing / introspection).
+  /// Completed flows report their final rate.
+  double flow_rate(std::int64_t flow);
+
+ private:
+  struct ChanSet {
+    std::array<ChannelId, kMaxChannelsPerFlow> ids;
+    std::int32_t count = 0;
+  };
+
+  void recompute_rates();
+  bool try_defer_allocation(std::size_t index);
+  bool steal_allocation(std::size_t index, double fair);
+  void drain(double dt);
+  void remove_active(std::size_t index);
+
+  /// Pop batches between forced exact recomputations in deferred mode.
+  static constexpr int kMaxDeferredBatches = 128;
+
+  std::vector<double> capacities_;
+
+  // Dense parallel arrays over ACTIVE flows (swap-removed on completion).
+  std::vector<double> remaining_;
+  std::vector<double> rate_;
+  std::vector<std::int64_t> user_;
+  std::vector<std::int64_t> ext_id_;
+  std::vector<ChanSet> chans_;
+
+  // External id -> (active index + 1), 0 when gone; plus last known rate.
+  std::vector<std::int64_t> ext_index_;
+  std::vector<double> ext_rate_;
+
+  double now_ = 0;
+  double completion_slack_ = 0;
+  bool rates_dirty_ = true;
+  int batches_since_full_ = 0;
+
+  // Incremental per-channel bookkeeping for deferred allocation.
+  std::vector<double> used_;
+  std::vector<std::int32_t> nflows_;
+  std::vector<double> freed_;
+  /// Lazily-compacted per-channel lists of flow EXTERNAL ids (stable across
+  /// the swap-removal of active slots); dead entries are skipped/purged.
+  std::vector<std::vector<std::int64_t>> by_channel_;
+
+  // Scratch (persistent capacity, reset per recompute).
+  std::vector<double> residual_;
+  std::vector<std::int32_t> load_;
+  std::vector<ChannelId> touched_;
+  std::vector<std::vector<std::int32_t>> flows_on_;  ///< active indices.
+  std::vector<ChannelId> touched_scan_;
+};
+
+}  // namespace mr::simnet

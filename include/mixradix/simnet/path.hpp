@@ -1,0 +1,45 @@
+// Mapping from machine topology to simulator channels.
+//
+// Every component of the machine owns three channels:
+//  * egress  — traffic leaving the component toward its parent;
+//  * ingress — traffic entering from the parent (full duplex links);
+//  * memory  — the component's memory-controller bandwidth, shared by all
+//    traffic originating or terminating beneath it (only for levels with a
+//    mem_bandwidth in the machine model).
+//
+// A message from core a to core b whose coordinates first differ at level
+// fd uses the egress channels of a's components at levels [fd, depth-1],
+// the ingress channels of b's (the same crossings mr::hop_cost counts),
+// plus the memory channels of BOTH endpoints' domains at every level that
+// models one. The memory channels are what make a communicator packed into
+// one NUMA domain contend with itself — the effect that lets spread
+// mappings win the paper's single-communicator large-message regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mixradix/simnet/flow_sim.hpp"
+#include "mixradix/topo/machine.hpp"
+
+namespace mr::simnet {
+
+/// Capacity vector for FlowSim: channel 3*component_id(level, comp) is that
+/// component's egress, +1 its ingress (both at the level's link bandwidth),
+/// +2 its memory channel (the level's mem_bandwidth; placeholder capacity
+/// when the level models none — such channels never appear in paths).
+std::vector<double> channel_capacities(const topo::Machine& machine);
+
+ChannelId egress_channel(const topo::Machine& machine, int level,
+                         std::int64_t component_in_level);
+ChannelId ingress_channel(const topo::Machine& machine, int level,
+                          std::int64_t component_in_level);
+ChannelId memory_channel(const topo::Machine& machine, int level,
+                         std::int64_t component_in_level);
+
+/// Channels crossed by a transfer from core_a to core_b. Empty for a
+/// self-message (modelled latency-only). The list is what FlowSim expects.
+std::vector<ChannelId> flow_channels(const topo::Machine& machine,
+                                     std::int64_t core_a, std::int64_t core_b);
+
+}  // namespace mr::simnet

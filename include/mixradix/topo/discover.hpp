@@ -1,0 +1,22 @@
+// Host topology discovery — the hwloc substitute.
+//
+// The reordering algorithm only needs the radix vector of the machine it
+// runs on; on Linux that is derivable from sysfs. Discovery returns
+// std::nullopt when the host is heterogeneous (different core counts per
+// socket, §3.2 constraint 2) or when sysfs is unavailable, in which case
+// callers should fall back to a preset or a user-provided hierarchy.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mixradix/mr/hierarchy.hpp"
+
+namespace mr::topo {
+
+/// The per-node hierarchy of the current host: ⟦sockets, numa-per-socket,
+/// cores-per-numa⟧, with single-element levels collapsed. Reads sysfs under
+/// `sysfs_root` (overridable for tests).
+std::optional<Hierarchy> discover_host(const std::string& sysfs_root = "/sys");
+
+}  // namespace mr::topo

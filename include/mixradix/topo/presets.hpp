@@ -1,0 +1,38 @@
+// Machine presets matching the two clusters of the paper's evaluation.
+//
+// Absolute link parameters are engineering estimates for the published
+// hardware (Omni-Path 100 Gb/s, Slingshot-11 200 Gb/s, Xeon Gold 6130F,
+// EPYC 7763); the reproduction targets the *shape* of the results, which
+// depends on the bandwidth taper across levels and the sharing degrees,
+// not on the exact constants.
+#pragma once
+
+#include "mixradix/topo/machine.hpp"
+
+namespace mr::topo {
+
+/// Hydra (TU Wien): dual 16-core Xeon Gold 6130F, one or two 100 Gb/s
+/// Omni-Path NICs. Hierarchy ⟦nodes, 2, 2, 8⟧ — the paper splits each
+/// 16-core socket into a fake level of 2 x 8 cores.
+Machine hydra(int nodes, int nics = 1);
+
+/// LUMI (CSC): dual 64-core EPYC 7763, 4 NUMA domains per socket, 2 L3
+/// complexes per NUMA, Slingshot-11 200 Gb/s. Hierarchy ⟦nodes, 2, 4, 2, 8⟧.
+Machine lumi(int nodes);
+
+/// A single LUMI compute node, ⟦2, 4, 2, 8⟧ (socket outermost): the Fig. 9
+/// strong-scaling substrate, where core selection happens within one node.
+Machine lumi_node();
+
+/// A single Hydra compute node, ⟦2, 2, 8⟧.
+Machine hydra_node(int nics = 1);
+
+/// A tiny ⟦2, 2, 4⟧ machine (Fig. 1/2 of the paper) with round-number link
+/// speeds and zero per-message costs, so unit tests can predict simulated
+/// times analytically.
+Machine testbox();
+
+/// A generic single-switch cluster for examples: ⟦nodes, sockets, cores⟧.
+Machine generic(int nodes, int sockets, int cores_per_socket);
+
+}  // namespace mr::topo

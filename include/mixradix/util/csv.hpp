@@ -1,0 +1,44 @@
+// Minimal CSV emitter used by the benchmark harness so every figure's data
+// can be re-plotted outside the repo. Values are quoted only when needed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mr::util {
+
+/// Streams rows of a CSV table. The header is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  /// Write one row; must have the same arity as the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: accepts any mix of strings / numerics.
+  template <typename... Ts>
+  void row_of(const Ts&... fields) {
+    row({to_field(fields)...});
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(int v) { return std::to_string(v); }
+  static std::string to_field(long v) { return std::to_string(v); }
+  static std::string to_field(unsigned long v) { return std::to_string(v); }
+  static std::string to_field(long long v) { return std::to_string(v); }
+  static std::string to_field(unsigned long long v) { return std::to_string(v); }
+
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ostream& os_;
+  std::size_t arity_;
+};
+
+/// Quote a field per RFC 4180 if it contains separators/quotes/newlines.
+std::string csv_escape(const std::string& field);
+
+}  // namespace mr::util

@@ -1,0 +1,47 @@
+// Lightweight precondition / invariant checking for the mixradix library.
+//
+// Library entry points validate their inputs with MR_EXPECT and throw
+// mr::invalid_argument on violation, so that misuse is reported with a
+// message instead of undefined behaviour. Internal invariants use
+// MR_ASSERT_INTERNAL, which aborts: an internal violation is a library bug,
+// not a user error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mr {
+
+/// Thrown when a caller violates a documented precondition.
+class invalid_argument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_expect_failure(const char* cond, const char* file, int line,
+                                              const std::string& msg) {
+  throw invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                         ": precondition failed (" + cond + "): " + msg);
+}
+
+[[noreturn]] inline void abort_internal(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: internal invariant violated: %s\n", file, line, cond);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace mr
+
+#define MR_EXPECT(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) ::mr::detail::throw_expect_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define MR_ASSERT_INTERNAL(cond)                                            \
+  do {                                                                      \
+    if (!(cond)) ::mr::detail::abort_internal(#cond, __FILE__, __LINE__);   \
+  } while (0)

@@ -1,0 +1,33 @@
+// Small string utilities shared across the library: splitting, joining,
+// trimming, and human-readable byte formatting for reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mr::util {
+
+/// Split `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Join the elements of `parts` with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Join integers with `sep`, e.g. join_ints({0,1,2}, "-") == "0-1-2".
+std::string join_ints(const std::vector<int>& values, std::string_view sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Parse a non-negative integer; throws mr::invalid_argument on junk.
+int parse_int(std::string_view s);
+
+/// "16 KB", "3.8 MB", "512 MB" style formatting (powers of 1024).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-point formatting with `digits` decimals ("46.7").
+std::string format_fixed(double value, int digits);
+
+}  // namespace mr::util

@@ -1,0 +1,36 @@
+#include "mixradix/apps/cg.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::apps::cg {
+
+CgClass cg_class(char name) {
+  // n and nonzer per NPB specification; nnz ~= n * (nonzer+1)^2 / 2 is the
+  // usual back-of-envelope for makea()'s output, rounded to published
+  // nonzero counts.
+  switch (name) {
+    case 'S':
+      return CgClass{'S', 1400, 78148, 15, 25};
+    case 'A':
+      return CgClass{'A', 14000, 1853104, 15, 25};
+    case 'B':
+      return CgClass{'B', 75000, 13708072, 75, 25};
+    case 'C':
+      return CgClass{'C', 150000, 36121058, 75, 25};
+    default:
+      MR_EXPECT(false, std::string("unknown CG class '") + name + "'");
+  }
+  return {};
+}
+
+Grid npb_grid(std::int32_t p) {
+  MR_EXPECT(p >= 1 && (p & (p - 1)) == 0, "NPB-CG needs a power-of-two size");
+  int k = 0;
+  while ((std::int32_t{1} << k) < p) ++k;
+  Grid g;
+  g.rows = std::int32_t{1} << ((k + 1) / 2);
+  g.cols = std::int32_t{1} << (k / 2);
+  MR_ASSERT_INTERNAL(g.rows * g.cols == p && g.rows >= g.cols);
+  return g;
+}
+
+}  // namespace mr::apps::cg

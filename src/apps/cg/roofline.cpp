@@ -1,0 +1,46 @@
+#include <map>
+
+#include "mixradix/apps/cg.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::apps::cg {
+
+double process_mem_bandwidth(const topo::Machine& machine,
+                             const std::vector<std::int64_t>& active_cores,
+                             std::int64_t my_core) {
+  MR_EXPECT(!active_cores.empty(), "no active cores");
+  double bw = machine.core_flops() * 8;  // effectively unbounded start
+  bool bounded = false;
+  for (int level = 0; level < machine.depth(); ++level) {
+    const double level_bw = machine.level(level).mem_bandwidth;
+    if (level_bw <= 0) continue;
+    const std::int64_t mine = machine.component_of(my_core, level);
+    std::int64_t sharers = 0;
+    for (std::int64_t core : active_cores) {
+      if (machine.component_of(core, level) == mine) ++sharers;
+    }
+    MR_EXPECT(sharers >= 1, "my_core must be among the active cores");
+    bw = std::min(bw, level_bw / static_cast<double>(sharers));
+    bounded = true;
+  }
+  MR_EXPECT(bounded, "machine models no memory bandwidth at any level");
+  return bw;
+}
+
+double compute_seconds(const CgClass& klass, std::int32_t p, double core_flops,
+                       double mem_bandwidth) {
+  MR_EXPECT(p >= 1, "need at least one process");
+  MR_EXPECT(core_flops > 0 && mem_bandwidth > 0, "need positive rates");
+  // One inner iteration: a sparse matvec (2 flops and 12 bytes per nonzero:
+  // 8 B value + 4 B index) plus ~10 vector ops over n elements (1 flop,
+  // 8 bytes each, counting the classic 2.5 reads/writes per saxpy).
+  const double flops =
+      (2.0 * static_cast<double>(klass.nnz) + 10.0 * static_cast<double>(klass.n)) /
+      static_cast<double>(p);
+  const double bytes =
+      (12.0 * static_cast<double>(klass.nnz) + 80.0 * static_cast<double>(klass.n)) /
+      static_cast<double>(p);
+  return std::max(flops / core_flops, bytes / mem_bandwidth);
+}
+
+}  // namespace mr::apps::cg

@@ -1,0 +1,79 @@
+#include "mixradix/apps/splatt.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::apps::splatt {
+
+Grid3 default_grid(std::int32_t nprocs) {
+  MR_EXPECT(nprocs >= 1, "need at least one process");
+  // Greedy balanced factorisation with p1 >= p2 >= p3 (SPLATT's own
+  // heuristic prefers near-cubic grids with the largest factor first).
+  Grid3 best;
+  std::int64_t best_score = -1;
+  for (std::int32_t p1 = 1; p1 <= nprocs; ++p1) {
+    if (nprocs % p1 != 0) continue;
+    const std::int32_t rest = nprocs / p1;
+    for (std::int32_t p2 = 1; p2 <= rest; ++p2) {
+      if (rest % p2 != 0) continue;
+      const std::int32_t p3 = rest / p2;
+      if (!(p1 >= p2 && p2 >= p3)) continue;
+      // Prefer the most cubic grid: maximise the smallest factor, then the
+      // middle one.
+      const std::int64_t score = static_cast<std::int64_t>(p3) * 100000 + p2;
+      if (score > best_score) {
+        best_score = score;
+        best.p[0] = p1;
+        best.p[1] = p2;
+        best.p[2] = p3;
+      }
+    }
+  }
+  MR_ASSERT_INTERNAL(best.nprocs() == nprocs);
+  return best;
+}
+
+std::vector<std::vector<std::int32_t>> layer_comms(const Grid3& grid, int mode) {
+  MR_EXPECT(mode >= 0 && mode < 3, "mode out of range");
+  const std::int32_t p1 = grid.p[0], p2 = grid.p[1], p3 = grid.p[2];
+  const auto rank_of = [&](std::int32_t i, std::int32_t j, std::int32_t k) {
+    return (i * p2 + j) * p3 + k;
+  };
+  std::vector<std::vector<std::int32_t>> comms;
+  switch (mode) {
+    case 0:
+      comms.reserve(static_cast<std::size_t>(p2) * p3);
+      for (std::int32_t j = 0; j < p2; ++j) {
+        for (std::int32_t k = 0; k < p3; ++k) {
+          std::vector<std::int32_t> members;
+          members.reserve(static_cast<std::size_t>(p1));
+          for (std::int32_t i = 0; i < p1; ++i) members.push_back(rank_of(i, j, k));
+          comms.push_back(std::move(members));
+        }
+      }
+      break;
+    case 1:
+      comms.reserve(static_cast<std::size_t>(p1) * p3);
+      for (std::int32_t i = 0; i < p1; ++i) {
+        for (std::int32_t k = 0; k < p3; ++k) {
+          std::vector<std::int32_t> members;
+          members.reserve(static_cast<std::size_t>(p2));
+          for (std::int32_t j = 0; j < p2; ++j) members.push_back(rank_of(i, j, k));
+          comms.push_back(std::move(members));
+        }
+      }
+      break;
+    case 2:
+      comms.reserve(static_cast<std::size_t>(p1) * p2);
+      for (std::int32_t i = 0; i < p1; ++i) {
+        for (std::int32_t j = 0; j < p2; ++j) {
+          std::vector<std::int32_t> members;
+          members.reserve(static_cast<std::size_t>(p3));
+          for (std::int32_t k = 0; k < p3; ++k) members.push_back(rank_of(i, j, k));
+          comms.push_back(std::move(members));
+        }
+      }
+      break;
+  }
+  return comms;
+}
+
+}  // namespace mr::apps::splatt

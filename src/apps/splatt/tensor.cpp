@@ -1,0 +1,89 @@
+#include <cmath>
+
+#include "mixradix/apps/splatt.hpp"
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/prng.hpp"
+
+namespace mr::apps::splatt {
+
+TensorSpec nell1_like(std::uint64_t seed) {
+  TensorSpec spec;
+  spec.dims[0] = 2902330;
+  spec.dims[1] = 2143368;
+  spec.dims[2] = 25495389;
+  spec.nnz = 143599552;
+  spec.seed = seed;
+  spec.skew = 1.1;
+  return spec;
+}
+
+std::vector<std::vector<std::int64_t>> layer_volumes(const TensorSpec& spec,
+                                                     const Grid3& grid, int mode,
+                                                     std::int64_t layer,
+                                                     std::int64_t factor_rank) {
+  MR_EXPECT(mode >= 0 && mode < 3, "mode out of range");
+  MR_EXPECT(factor_rank >= 1, "factor rank must be positive");
+  const std::int32_t p = grid.p[mode];
+  const std::int64_t nlayers = static_cast<std::int64_t>(grid.nprocs()) / p;
+  MR_EXPECT(layer >= 0 && layer < nlayers, "layer out of range");
+
+  // Per-member slice weights: Zipf-like with a deterministic random
+  // permutation of heaviness, so every layer is imbalanced differently.
+  util::Xoshiro256 rng(spec.seed ^ (static_cast<std::uint64_t>(mode) << 32) ^
+                       static_cast<std::uint64_t>(layer) * 0x9e3779b97f4a7c15ULL);
+  std::vector<double> weight(static_cast<std::size_t>(p));
+  double total_weight = 0;
+  for (std::int32_t a = 0; a < p; ++a) {
+    const double zipf =
+        1.0 / std::pow(static_cast<double>(1 + rng.next_below(
+                           static_cast<std::uint64_t>(p))),
+                       spec.skew);
+    weight[static_cast<std::size_t>(a)] = 0.2 + zipf;  // floor keeps all active
+    total_weight += weight[static_cast<std::size_t>(a)];
+  }
+
+  // Rows exchanged in this layer per iteration: the layer holds
+  // nnz / nlayers nonzeros, each referencing factor rows that must travel
+  // to (partial products) and from (updated rows) their owners. The 1.8
+  // multiplier is the calibrated two-way traffic factor that lands the
+  // aggregate volume at nell-1's published medium-grained communication
+  // scale (a few GB per mode and iteration at 1024 processes).
+  const double layer_nnz = static_cast<double>(spec.nnz) / static_cast<double>(nlayers);
+  const double distinct_rows =
+      std::min(layer_nnz, static_cast<double>(spec.dims[mode])) * 1.8;
+
+  std::vector<std::vector<std::int64_t>> counts(
+      static_cast<std::size_t>(p), std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
+  for (std::int32_t a = 0; a < p; ++a) {
+    for (std::int32_t b = 0; b < p; ++b) {
+      if (a == b) continue;
+      const double share = weight[static_cast<std::size_t>(a)] *
+                           weight[static_cast<std::size_t>(b)] /
+                           (total_weight * total_weight);
+      counts[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          static_cast<std::int64_t>(distinct_rows * share) * factor_rank;
+    }
+  }
+  return counts;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  MR_EXPECT(x.size() == y.size() && x.size() >= 2, "need matched samples");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  MR_EXPECT(sxx > 0 && syy > 0, "samples must not be constant");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace mr::apps::splatt

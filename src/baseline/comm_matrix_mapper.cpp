@@ -1,0 +1,158 @@
+#include "mixradix/baseline/comm_matrix_mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/mr/metrics.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::baseline {
+
+namespace {
+
+/// One grouping pass: bundle `n` items into n/size groups of `size`,
+/// greedily maximising intra-group volume. Returns the group of each item.
+std::vector<std::int32_t> group_items(const std::vector<std::vector<double>>& vol,
+                                      std::int32_t size) {
+  const auto n = static_cast<std::int32_t>(vol.size());
+  MR_ASSERT_INTERNAL(n % size == 0);
+  std::vector<std::int32_t> group_of(static_cast<std::size_t>(n), -1);
+  std::vector<bool> taken(static_cast<std::size_t>(n), false);
+
+  // Process seeds by descending total traffic: heavy communicators get
+  // first pick of their partners (the classic greedy tree-match order).
+  std::vector<std::int32_t> seeds(static_cast<std::size_t>(n));
+  std::iota(seeds.begin(), seeds.end(), 0);
+  std::vector<double> total(static_cast<std::size_t>(n), 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i != j) total[static_cast<std::size_t>(i)] += vol[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  std::stable_sort(seeds.begin(), seeds.end(), [&](std::int32_t a, std::int32_t b) {
+    return total[static_cast<std::size_t>(a)] > total[static_cast<std::size_t>(b)];
+  });
+
+  std::int32_t next_group = 0;
+  for (std::int32_t seed : seeds) {
+    if (taken[static_cast<std::size_t>(seed)]) continue;
+    const std::int32_t g = next_group++;
+    std::vector<std::int32_t> members{seed};
+    taken[static_cast<std::size_t>(seed)] = true;
+    group_of[static_cast<std::size_t>(seed)] = g;
+    while (static_cast<std::int32_t>(members.size()) < size) {
+      // Pick the free item with the largest volume to the current members.
+      std::int32_t best = -1;
+      double best_volume = -1;
+      for (std::int32_t candidate = 0; candidate < n; ++candidate) {
+        if (taken[static_cast<std::size_t>(candidate)]) continue;
+        double to_group = 0;
+        for (std::int32_t m : members) {
+          to_group += vol[static_cast<std::size_t>(candidate)][static_cast<std::size_t>(m)];
+        }
+        if (to_group > best_volume) {
+          best_volume = to_group;
+          best = candidate;
+        }
+      }
+      MR_ASSERT_INTERNAL(best >= 0);
+      taken[static_cast<std::size_t>(best)] = true;
+      group_of[static_cast<std::size_t>(best)] = g;
+      members.push_back(best);
+    }
+  }
+  return group_of;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> map_by_comm_matrix(const Hierarchy& h,
+                                             const CommMatrix& volume) {
+  const std::int64_t p = h.total();
+  MR_EXPECT(static_cast<std::int64_t>(volume.size()) == p,
+            "matrix size must equal the hierarchy's resource count");
+  for (const auto& row : volume) {
+    MR_EXPECT(static_cast<std::int64_t>(row.size()) == p, "matrix must be square");
+  }
+
+  // Symmetrised working copy.
+  std::vector<std::vector<double>> vol(
+      static_cast<std::size_t>(p), std::vector<double>(static_cast<std::size_t>(p), 0));
+  for (std::int64_t i = 0; i < p; ++i) {
+    for (std::int64_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      vol[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          volume[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +
+          volume[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    }
+  }
+
+  // items[k] = list of ranks inside super-node k, in placement order.
+  std::vector<std::vector<std::int64_t>> items(static_cast<std::size_t>(p));
+  for (std::int64_t r = 0; r < p; ++r) {
+    items[static_cast<std::size_t>(r)] = {r};
+  }
+
+  // Bottom-up over levels: group radix(level) super-nodes at a time.
+  for (int level = h.depth() - 1; level >= 0; --level) {
+    const std::int32_t size = h.radix(level);
+    const auto group_of = group_items(vol, size);
+    const auto ngroups = static_cast<std::int32_t>(items.size()) / size;
+
+    std::vector<std::vector<std::int64_t>> merged(static_cast<std::size_t>(ngroups));
+    for (std::size_t item = 0; item < items.size(); ++item) {
+      auto& target = merged[static_cast<std::size_t>(group_of[item])];
+      target.insert(target.end(), items[item].begin(), items[item].end());
+    }
+
+    std::vector<std::vector<double>> next_vol(
+        static_cast<std::size_t>(ngroups),
+        std::vector<double>(static_cast<std::size_t>(ngroups), 0));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = 0; j < items.size(); ++j) {
+        if (group_of[i] == group_of[j]) continue;
+        next_vol[static_cast<std::size_t>(group_of[i])]
+                [static_cast<std::size_t>(group_of[j])] += vol[i][j];
+      }
+    }
+    items = std::move(merged);
+    vol = std::move(next_vol);
+  }
+  MR_ASSERT_INTERNAL(items.size() == 1 &&
+                     static_cast<std::int64_t>(items[0].size()) == p);
+
+  // The flattened tree order is the physical core order.
+  std::vector<std::int64_t> core_of_rank(static_cast<std::size_t>(p));
+  for (std::int64_t core = 0; core < p; ++core) {
+    core_of_rank[static_cast<std::size_t>(items[0][static_cast<std::size_t>(core)])] =
+        core;
+  }
+  return core_of_rank;
+}
+
+double weighted_hop_cost(const Hierarchy& h, const CommMatrix& volume,
+                         const std::vector<std::int64_t>& core_of_rank) {
+  const std::int64_t p = h.total();
+  MR_EXPECT(static_cast<std::int64_t>(volume.size()) == p &&
+                static_cast<std::int64_t>(core_of_rank.size()) == p,
+            "matrix/placement size mismatch");
+  std::vector<Coords> coords;
+  coords.reserve(static_cast<std::size_t>(p));
+  for (std::int64_t r = 0; r < p; ++r) {
+    coords.push_back(decompose(h, core_of_rank[static_cast<std::size_t>(r)]));
+  }
+  double cost = 0;
+  for (std::int64_t i = 0; i < p; ++i) {
+    for (std::int64_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      const double v = volume[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (v <= 0) continue;
+      cost += v * hop_cost(h, coords[static_cast<std::size_t>(i)],
+                           coords[static_cast<std::size_t>(j)]);
+    }
+  }
+  return cost;
+}
+
+}  // namespace mr::baseline

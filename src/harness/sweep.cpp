@@ -1,0 +1,41 @@
+#include "mixradix/harness/microbench.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::harness {
+
+std::vector<std::int64_t> paper_sizes(std::int64_t max_bytes) {
+  // The paper's x-axis ticks: 16 KB, 128 KB, 1 MB, 8 MB, 64 MB, 512 MB.
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t s = 16ll << 10; s <= max_bytes; s *= 8) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
+                                   const SweepConfig& config) {
+  MR_EXPECT(!config.orders.empty() && !config.sizes.empty(),
+            "sweep needs orders and sizes");
+  std::vector<SweepSeries> out;
+  out.reserve(config.orders.size());
+  for (const Order& order : config.orders) {
+    SweepSeries series;
+    series.character =
+        characterize_order(machine.hierarchy(), order, config.comm_size);
+    series.sizes = config.sizes;
+    for (std::int64_t size : config.sizes) {
+      MicrobenchConfig mb;
+      mb.order = order;
+      mb.comm_size = config.comm_size;
+      mb.collective = config.collective;
+      mb.total_bytes = size;
+      mb.all_comms = config.all_comms;
+      mb.repetitions = config.repetitions;
+      series.results.push_back(run_microbench(machine, mb));
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace mr::harness

@@ -1,0 +1,123 @@
+#include "mixradix/mr/core_select.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr {
+
+std::vector<std::int64_t> select_cores(const Hierarchy& h, const Order& order,
+                                       std::int64_t n) {
+  MR_EXPECT(n >= 1 && n <= h.total(), "core count out of range");
+  MR_EXPECT(static_cast<int>(order.size()) == h.depth(),
+            "order length must equal hierarchy depth");
+  std::vector<std::int64_t> list(static_cast<std::size_t>(n), -1);
+  // Algorithm 3: iterate over all physical cores; a core whose reordered
+  // rank falls below n is kept at position <reordered rank>.
+  for (std::int64_t core = 0; core < h.total(); ++core) {
+    const std::int64_t r = reorder_rank(h, core, order);
+    if (r < n) list[static_cast<std::size_t>(r)] = core;
+  }
+  for (std::int64_t c : list) MR_ASSERT_INTERNAL(c >= 0);
+  return list;
+}
+
+std::string map_cpu_string(const std::vector<std::int64_t>& cores) {
+  std::string out = "map_cpu:";
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(cores[i]);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> sorted_core_set(std::vector<std::int64_t> cores) {
+  std::sort(cores.begin(), cores.end());
+  MR_EXPECT(std::adjacent_find(cores.begin(), cores.end()) == cores.end(),
+            "duplicate core in selection");
+  return cores;
+}
+
+std::string core_set_ranges(const std::vector<std::int64_t>& sorted_cores) {
+  MR_EXPECT(!sorted_cores.empty(), "empty core set");
+  std::string out;
+  std::size_t i = 0;
+  while (i < sorted_cores.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted_cores.size() &&
+           sorted_cores[j + 1] == sorted_cores[j] + 1) {
+      ++j;
+    }
+    if (!out.empty()) out += ',';
+    out += std::to_string(sorted_cores[i]);
+    if (j > i) out += "-" + std::to_string(sorted_cores[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+std::optional<Hierarchy> selected_hierarchy(const Hierarchy& h,
+                                            const std::vector<std::int64_t>& sorted_cores) {
+  MR_EXPECT(!sorted_cores.empty(), "empty core set");
+  const auto depth = static_cast<std::size_t>(h.depth());
+  std::vector<std::set<int>> used(depth);
+  for (std::int64_t core : sorted_cores) {
+    const Coords c = decompose(h, core);
+    for (std::size_t level = 0; level < depth; ++level) {
+      used[level].insert(c[level]);
+    }
+  }
+  // Rectangularity: the set must be the full cartesian product of the
+  // per-level coordinate subsets.
+  std::int64_t product = 1;
+  for (const auto& values : used) product *= static_cast<std::int64_t>(values.size());
+  if (product != static_cast<std::int64_t>(sorted_cores.size())) return std::nullopt;
+  // Verify membership (sizes matching is necessary but not sufficient).
+  std::set<std::int64_t> members(sorted_cores.begin(), sorted_cores.end());
+  for (std::int64_t core : members) {
+    const Coords c = decompose(h, core);
+    for (std::size_t level = 0; level < depth; ++level) {
+      if (!used[level].contains(c[level])) return std::nullopt;
+    }
+  }
+  std::vector<int> radices;
+  std::vector<std::string> names;
+  for (std::size_t level = 0; level < depth; ++level) {
+    if (used[level].size() > 1) {
+      radices.push_back(static_cast<int>(used[level].size()));
+      names.push_back(h.level_name(static_cast<int>(level)));
+    }
+  }
+  if (radices.empty()) return std::nullopt;  // a single core has no hierarchy
+  return Hierarchy(std::move(radices), std::move(names));
+}
+
+std::vector<SelectionOutcome> enumerate_selections(const Hierarchy& h,
+                                                   std::int64_t n) {
+  std::vector<SelectionOutcome> outcomes;
+  std::set<std::vector<std::int64_t>> seen_lists;
+  // Group index per core set, in order of first discovery.
+  std::map<std::vector<std::int64_t>, std::size_t> group_of_set;
+  std::vector<std::vector<SelectionOutcome>> groups;
+  for_each_order(h.depth(), [&](const Order& order) {
+    auto list = select_cores(h, order, n);
+    if (!seen_lists.insert(list).second) return true;  // identical mapping
+    SelectionOutcome outcome;
+    outcome.order = order;
+    outcome.core_set = sorted_core_set(list);
+    outcome.core_list = std::move(list);
+    auto [it, inserted] = group_of_set.try_emplace(outcome.core_set, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(std::move(outcome));
+    return true;
+  });
+  for (auto& group : groups) {
+    for (auto& outcome : group) outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace mr

@@ -1,0 +1,75 @@
+#include "mixradix/mr/equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr {
+
+namespace {
+
+using CommSequence = std::vector<std::int64_t>;   // core ids in comm-rank order
+using Signature = std::vector<CommSequence>;      // sorted multiset of comms
+
+Signature signature_of(const Hierarchy& h, const Order& order,
+                       std::int64_t comm_size, Equivalence granularity) {
+  const auto placement = placement_of_new_ranks(h, order);
+  const std::int64_t ncomms = h.total() / comm_size;
+  Signature sig;
+  sig.reserve(static_cast<std::size_t>(ncomms));
+  for (std::int64_t c = 0; c < ncomms; ++c) {
+    CommSequence seq(static_cast<std::size_t>(comm_size));
+    for (std::int64_t j = 0; j < comm_size; ++j) {
+      seq[static_cast<std::size_t>(j)] =
+          placement[static_cast<std::size_t>(c * comm_size + j)];
+    }
+    if (granularity == Equivalence::SameSetsOnly) {
+      std::sort(seq.begin(), seq.end());
+    }
+    sig.push_back(std::move(seq));
+  }
+  if (granularity != Equivalence::ExactPlacement) {
+    // Communicators are interchangeable: compare as a multiset.
+    std::sort(sig.begin(), sig.end());
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
+                                        Equivalence granularity) {
+  MR_EXPECT(comm_size >= 1 && h.total() % comm_size == 0,
+            "communicator size must divide the number of processes");
+  std::map<Signature, std::vector<Order>> buckets;
+  for_each_order(h.depth(), [&](const Order& order) {
+    buckets[signature_of(h, order, comm_size, granularity)].push_back(order);
+    return true;
+  });
+  std::vector<OrderClass> classes;
+  classes.reserve(buckets.size());
+  for (auto& [sig, members] : buckets) {
+    OrderClass cls;
+    cls.members = std::move(members);  // for_each_order visits lexicographically
+    cls.representative = characterize_order(h, cls.members.front(), comm_size);
+    classes.push_back(std::move(cls));
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const OrderClass& a, const OrderClass& b) {
+              return a.members.front() < b.members.front();
+            });
+  return classes;
+}
+
+std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
+                                   Equivalence granularity) {
+  std::vector<Order> out;
+  for (const auto& cls : classify_orders(h, comm_size, granularity)) {
+    out.push_back(cls.members.front());
+  }
+  return out;
+}
+
+}  // namespace mr

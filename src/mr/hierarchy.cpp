@@ -1,0 +1,146 @@
+#include "mixradix/mr/hierarchy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace mr {
+
+Hierarchy::Hierarchy(std::vector<int> radices, std::vector<std::string> level_names)
+    : radices_(std::move(radices)), names_(std::move(level_names)) {
+  MR_EXPECT(!radices_.empty(), "hierarchy needs at least one level");
+  for (int r : radices_) {
+    MR_EXPECT(r >= 2, "every radix must be >= 2, got " + std::to_string(r));
+    MR_EXPECT(total_ <= std::numeric_limits<std::int64_t>::max() / r,
+              "hierarchy size overflows int64");
+    total_ *= r;
+  }
+  if (names_.empty()) {
+    names_.reserve(radices_.size());
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+      names_.push_back("level" + std::to_string(i));
+    }
+  }
+  MR_EXPECT(names_.size() == radices_.size(),
+            "level_names must match the number of radices");
+}
+
+Hierarchy Hierarchy::parse(std::string_view text) {
+  std::string_view body = util::trim(text);
+  // Strip the paper's bracket notation if present.
+  if (!body.empty() && (body.front() == '[' || body.front() == '(')) {
+    MR_EXPECT(body.size() >= 2 && (body.back() == ']' || body.back() == ')'),
+              "unbalanced brackets in hierarchy '" + std::string(text) + "'");
+    body = body.substr(1, body.size() - 2);
+  }
+  char sep = ',';
+  if (body.find(':') != std::string_view::npos) sep = ':';
+  else if (body.find('x') != std::string_view::npos) sep = 'x';
+  std::vector<int> radices;
+  for (const auto& part : util::split(body, sep)) {
+    radices.push_back(util::parse_int(part));
+  }
+  return Hierarchy(std::move(radices));
+}
+
+int Hierarchy::radix(int level) const {
+  MR_EXPECT(level >= 0 && level < depth(), "level out of range");
+  return radices_[static_cast<std::size_t>(level)];
+}
+
+const std::string& Hierarchy::level_name(int level) const {
+  MR_EXPECT(level >= 0 && level < depth(), "level out of range");
+  return names_[static_cast<std::size_t>(level)];
+}
+
+std::int64_t Hierarchy::leaves_below(int level) const {
+  MR_EXPECT(level >= 0 && level <= depth(), "level out of range");
+  std::int64_t product = 1;
+  for (int i = level; i < depth(); ++i) product *= radices_[static_cast<std::size_t>(i)];
+  return product;
+}
+
+std::int64_t Hierarchy::components_at(int level) const {
+  MR_EXPECT(level >= 0 && level < depth(), "level out of range");
+  std::int64_t product = 1;
+  for (int i = 0; i <= level; ++i) product *= radices_[static_cast<std::size_t>(i)];
+  return product;
+}
+
+Hierarchy Hierarchy::permuted(const std::vector<int>& order) const {
+  MR_EXPECT(static_cast<int>(order.size()) == depth(),
+            "order length must equal hierarchy depth");
+  std::vector<bool> seen(order.size(), false);
+  std::vector<int> radices(order.size());
+  std::vector<std::string> names(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int level = order[i];
+    MR_EXPECT(level >= 0 && level < depth(), "order entry out of range");
+    MR_EXPECT(!seen[static_cast<std::size_t>(level)], "order is not a permutation");
+    seen[static_cast<std::size_t>(level)] = true;
+    radices[i] = radices_[static_cast<std::size_t>(level)];
+    names[i] = names_[static_cast<std::size_t>(level)];
+  }
+  return Hierarchy(std::move(radices), std::move(names));
+}
+
+Hierarchy Hierarchy::with_split_level(int level, int outer,
+                                      std::string_view outer_name) const {
+  MR_EXPECT(level >= 0 && level < depth(), "level out of range");
+  const int r = radices_[static_cast<std::size_t>(level)];
+  MR_EXPECT(outer >= 2 && outer < r && r % outer == 0,
+            "split factor must be a proper divisor >= 2 of the radix");
+  std::vector<int> radices = radices_;
+  std::vector<std::string> names = names_;
+  radices[static_cast<std::size_t>(level)] = outer;
+  radices.insert(radices.begin() + level + 1, r / outer);
+  names[static_cast<std::size_t>(level)] =
+      outer_name.empty() ? names_[static_cast<std::size_t>(level)] + "-group"
+                         : std::string(outer_name);
+  names.insert(names.begin() + level + 1, names_[static_cast<std::size_t>(level)]);
+  return Hierarchy(std::move(radices), std::move(names));
+}
+
+Hierarchy Hierarchy::with_prefix_levels(const std::vector<int>& radices,
+                                        std::vector<std::string> names) const {
+  MR_EXPECT(!radices.empty(), "prefix must add at least one level");
+  if (names.empty()) {
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+      names.push_back("net" + std::to_string(i));
+    }
+  }
+  MR_EXPECT(names.size() == radices.size(), "prefix names/radices mismatch");
+  std::vector<int> all = radices;
+  all.insert(all.end(), radices_.begin(), radices_.end());
+  names.insert(names.end(), names_.begin(), names_.end());
+  return Hierarchy(std::move(all), std::move(names));
+}
+
+Hierarchy Hierarchy::suffix(int first) const {
+  MR_EXPECT(first >= 0 && first < depth(), "suffix start out of range");
+  return Hierarchy(
+      std::vector<int>(radices_.begin() + first, radices_.end()),
+      std::vector<std::string>(names_.begin() + first, names_.end()));
+}
+
+std::string Hierarchy::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(radices_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::optional<std::string> validate_for_nprocs(const Hierarchy& h, std::int64_t nprocs) {
+  if (h.total() != nprocs) {
+    return "hierarchy " + h.to_string() + " describes " + std::to_string(h.total()) +
+           " resources but there are " + std::to_string(nprocs) + " processes";
+  }
+  return std::nullopt;
+}
+
+}  // namespace mr

@@ -1,0 +1,116 @@
+#include "mixradix/mr/metrics.hpp"
+
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace mr {
+
+namespace {
+
+/// First level (outermost-first index) where two coordinate vectors differ,
+/// or h.depth() when identical.
+int first_diff_level(const Hierarchy& h, const Coords& a, const Coords& b) {
+  MR_EXPECT(static_cast<int>(a.size()) == h.depth() &&
+                static_cast<int>(b.size()) == h.depth(),
+            "coordinates must match the hierarchy depth");
+  for (int level = 0; level < h.depth(); ++level) {
+    if (a[static_cast<std::size_t>(level)] != b[static_cast<std::size_t>(level)]) {
+      return level;
+    }
+  }
+  return h.depth();
+}
+
+}  // namespace
+
+int hop_cost(const Hierarchy& h, const Coords& a, const Coords& b) {
+  return h.depth() - first_diff_level(h, a, b);
+}
+
+int innermost_common_level(const Hierarchy& h, const Coords& a, const Coords& b) {
+  const int level = first_diff_level(h, a, b);
+  MR_EXPECT(level < h.depth(), "cores must be distinct");
+  return level;
+}
+
+std::int64_t ring_cost(const Hierarchy& h, const std::vector<Coords>& members) {
+  MR_EXPECT(members.size() >= 2, "ring cost needs at least two members");
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+    total += hop_cost(h, members[i], members[i + 1]);
+  }
+  return total;
+}
+
+std::vector<double> pair_percentages(const Hierarchy& h,
+                                     const std::vector<Coords>& members) {
+  MR_EXPECT(members.size() >= 2, "pair percentages need at least two members");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(h.depth()), 0);
+  std::int64_t pairs = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const int level = first_diff_level(h, members[i], members[j]);
+      MR_EXPECT(level < h.depth(), "duplicate core in communicator");
+      counts[static_cast<std::size_t>(level)] += 1;
+      ++pairs;
+    }
+  }
+  // counts is indexed outermost-first; the paper's legends list lowest-first.
+  std::vector<double> pct(static_cast<std::size_t>(h.depth()));
+  for (int level = 0; level < h.depth(); ++level) {
+    const auto lowest_first = static_cast<std::size_t>(h.depth() - 1 - level);
+    pct[lowest_first] =
+        100.0 * static_cast<double>(counts[static_cast<std::size_t>(level)]) /
+        static_cast<double>(pairs);
+  }
+  return pct;
+}
+
+std::vector<Coords> subcommunicator_coords(const Hierarchy& h, const Order& order,
+                                           std::int64_t comm_index,
+                                           std::int64_t comm_size) {
+  MR_EXPECT(comm_size >= 1 && comm_size <= h.total(), "bad communicator size");
+  MR_EXPECT(h.total() % comm_size == 0,
+            "communicator size must divide the number of processes");
+  MR_EXPECT(comm_index >= 0 && comm_index < h.total() / comm_size,
+            "communicator index out of range");
+  const auto placement = placement_of_new_ranks(h, order);
+  std::vector<Coords> members;
+  members.reserve(static_cast<std::size_t>(comm_size));
+  for (std::int64_t j = 0; j < comm_size; ++j) {
+    const std::int64_t core = placement[static_cast<std::size_t>(comm_index * comm_size + j)];
+    members.push_back(decompose(h, core));
+  }
+  return members;
+}
+
+std::string OrderCharacter::to_string() const {
+  std::vector<std::string> pcts;
+  pcts.reserve(pair_pct.size());
+  for (double p : pair_pct) pcts.push_back(util::format_fixed(p, 1));
+  return order_to_string(order) + " (" + std::to_string(ring_cost) + " - " +
+         util::join(pcts, ", ") + ")";
+}
+
+OrderCharacter characterize_order(const Hierarchy& h, const Order& order,
+                                  std::int64_t comm_size) {
+  const auto members = subcommunicator_coords(h, order, 0, comm_size);
+  OrderCharacter out;
+  out.order = order;
+  out.ring_cost = ring_cost(h, members);
+  out.pair_pct = pair_percentages(h, members);
+  return out;
+}
+
+double spreadness(const Hierarchy& h, const std::vector<Coords>& members) {
+  const auto pct = pair_percentages(h, members);
+  // pct is lowest-first; a pair at lowest level crosses 0 extra levels,
+  // a pair at the outermost crosses depth-1.
+  double crossed = 0.0;
+  for (std::size_t j = 0; j < pct.size(); ++j) {
+    crossed += pct[j] / 100.0 * static_cast<double>(j);
+  }
+  return h.depth() > 1 ? crossed / static_cast<double>(h.depth() - 1) : 0.0;
+}
+
+}  // namespace mr

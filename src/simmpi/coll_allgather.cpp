@@ -1,0 +1,93 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::ceil_log2;
+using detail::is_power_of_two;
+using detail::mod;
+
+namespace {
+
+// Arena: in [0, c), out [c, c + p*c); Bruck appends temp [c+pc, c+2pc).
+Region in_region(std::int64_t c) { return {0, c}; }
+Region out_block(std::int64_t c, std::int32_t j) { return {c + j * c, c}; }
+
+}  // namespace
+
+Schedule allgather_ring(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad allgather parameters");
+  ScheduleBuilder b(p, count + p * count);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in_region(count), out_block(count, rank));
+  }
+  // Round t: pass block (rank - t) around the ring of comm ranks. This is
+  // the algorithm whose cost is literally the ring-cost metric of §3.3.
+  for (std::int32_t t = 0; t < p - 1; ++t) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t to = mod(rank + 1, p);
+      const std::int32_t block = mod(rank - t, p);
+      b.message(t, rank, out_block(count, block), t, to, out_block(count, block));
+    }
+  }
+  return std::move(b).build();
+}
+
+Schedule allgather_recursive_doubling(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad allgather parameters");
+  MR_EXPECT(is_power_of_two(p), "recursive doubling needs a power-of-two size");
+  ScheduleBuilder b(p, count + p * count);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in_region(count), out_block(count, rank));
+  }
+  for (int k = 0; (std::int32_t{1} << k) < p; ++k) {
+    const std::int32_t z = std::int32_t{1} << k;
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t peer = rank ^ z;
+      // Entering round k, each rank owns the z contiguous blocks of its
+      // aligned group [my_base, my_base + z); it ships all of them to the
+      // partner, which stores them at the same (sender-side) offsets.
+      const std::int32_t my_base = rank & ~(z - 1);
+      b.message(k, rank, Region{count + my_base * count, z * count}, k, peer,
+                Region{count + my_base * count, z * count});
+    }
+  }
+  return std::move(b).build();
+}
+
+Schedule allgather_bruck(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad allgather parameters");
+  const std::int64_t c = count;
+  const std::int64_t temp0 = c + p * c;
+  ScheduleBuilder b(p, temp0 + p * c);
+  const auto temp_block = [&](std::int32_t i) { return Region{temp0 + i * c, c}; };
+
+  // temp[0] = own contribution.
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in_region(c), temp_block(0));
+  }
+  // Doubling rounds: after round k, temp[i] = contribution of (rank+i)%p
+  // for i < min(2^{k+1}, p).
+  int have = 1;
+  int round = 0;
+  while (have < p) {
+    const std::int32_t send_len = static_cast<std::int32_t>(
+        std::min<std::int64_t>(have, p - have));
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t to = mod(rank - have, p);
+      b.message(round, rank, Region{temp0, send_len * c}, round, to,
+                Region{temp0 + have * c, send_len * c});
+    }
+    have += send_len;
+    ++round;
+  }
+  // Final rotation: temp[i] holds the block of rank (rank+i)%p.
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    for (std::int32_t i = 0; i < p; ++i) {
+      b.copy(round, rank, temp_block(i), out_block(c, mod(rank + i, p)));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,111 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::chunk_begin;
+using detail::chunk_len;
+using detail::is_power_of_two;
+using detail::mod;
+
+namespace {
+
+// Arena: in [0,c), out/accumulator [c,2c), temp [2c,3c).
+Region in_region(std::int64_t c) { return {0, c}; }
+Region acc_region(std::int64_t c) { return {c, c}; }
+
+}  // namespace
+
+Schedule allreduce_recursive_doubling(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad allreduce parameters");
+  ScheduleBuilder b(p, 3 * count);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in_region(count), acc_region(count));
+  }
+
+  // Non-power-of-two handling (Rabenseifner's standard trick): with
+  // r = p - 2^k extra ranks, the first 2r ranks fold pairwise (even -> odd)
+  // so that a power-of-two subgroup remains; results are unfolded at the end.
+  std::int32_t pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const std::int32_t rem = p - pof2;
+
+  // Survivor id of a rank in the power-of-two phase, or -1 for folded evens.
+  const auto survivor = [&](std::int32_t rank) -> std::int32_t {
+    if (rank < 2 * rem) return (rank % 2 == 1) ? rank / 2 : -1;
+    return rank - rem;
+  };
+  const auto rank_of_survivor = [&](std::int32_t s) -> std::int32_t {
+    return s < rem ? 2 * s + 1 : s + rem;
+  };
+
+  int round = 1;
+  if (rem > 0) {
+    for (std::int32_t e = 0; e < 2 * rem; e += 2) {
+      b.message(round, e, acc_region(count), round, e + 1, acc_region(count),
+                Combine::Sum);
+    }
+    ++round;
+  }
+
+  for (std::int32_t z = 1; z < pof2; z *= 2, ++round) {
+    for (std::int32_t s = 0; s < pof2; ++s) {
+      const std::int32_t rank = rank_of_survivor(s);
+      const std::int32_t peer = rank_of_survivor(s ^ z);
+      // Sends snapshot the accumulator before receives combine into it
+      // (executor ordering), so the symmetric exchange is race-free.
+      b.message(round, rank, acc_region(count), round, peer, acc_region(count),
+                Combine::Sum);
+    }
+  }
+
+  if (rem > 0) {
+    for (std::int32_t e = 0; e < 2 * rem; e += 2) {
+      b.message(round, e + 1, acc_region(count), round, e, acc_region(count),
+                Combine::Replace);
+    }
+  }
+  (void)survivor;
+  return std::move(b).build();
+}
+
+Schedule allreduce_ring(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad allreduce parameters");
+  ScheduleBuilder b(p, 3 * count);
+  const std::int64_t c = count;
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in_region(c), acc_region(c));
+  }
+  if (p == 1) return std::move(b).build();
+
+  const auto acc_chunk = [&](std::int64_t i) {
+    return Region{c + chunk_begin(c, p, i), chunk_len(c, p, i)};
+  };
+
+  // Phase 1 — ring reduce-scatter: after p-1 rounds, rank owns the fully
+  // reduced chunk (rank + 1) % p.
+  int round = 1;
+  for (std::int32_t t = 0; t < p - 1; ++t, ++round) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t to = mod(rank + 1, p);
+      const std::int64_t send_chunk = mod(rank - t, p);
+      if (chunk_len(c, p, send_chunk) == 0) continue;
+      b.message(round, rank, acc_chunk(send_chunk), round, to,
+                acc_chunk(send_chunk), Combine::Sum);
+    }
+  }
+
+  // Phase 2 — ring allgather of the reduced chunks.
+  for (std::int32_t t = 0; t < p - 1; ++t, ++round) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t to = mod(rank + 1, p);
+      const std::int64_t send_chunk = mod(rank + 1 - t, p);
+      if (chunk_len(c, p, send_chunk) == 0) continue;
+      b.message(round, rank, acc_chunk(send_chunk), round, to,
+                acc_chunk(send_chunk), Combine::Replace);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,125 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::ceil_log2;
+using detail::is_power_of_two;
+using detail::mod;
+
+namespace {
+
+// Arena layout shared by the alltoall variants (offsets in doubles):
+//   in   [0, p*c)         block j = data for rank j
+//   out  [p*c, 2*p*c)     block j = data from rank j
+// Bruck appends: temp [2pc, 3pc), pack [3pc, 3pc + ceil(p/2)*c),
+//                unpack [.., + ceil(p/2)*c).
+Region in_block(std::int64_t c, std::int32_t j) { return {j * c, c}; }
+Region out_block(std::int32_t p, std::int64_t c, std::int32_t j) {
+  return {(p + j) * c, c};
+}
+
+}  // namespace
+
+Schedule alltoall_pairwise(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad alltoall parameters");
+  ScheduleBuilder b(p, 2 * p * count);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    // Own block moves locally in the first round.
+    b.copy(0, rank, in_block(count, rank), out_block(p, count, rank));
+  }
+  for (std::int32_t r = 1; r < p; ++r) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      // XOR partners when possible keep each round a perfect matching;
+      // otherwise the classic shifted send/recv pair.
+      const std::int32_t send_to =
+          is_power_of_two(p) ? (rank ^ r) : mod(rank + r, p);
+      // Round r-1 because round 0 is the local copy round... rounds align:
+      // use round index r so sends/recvs of step r share a round.
+      b.message(r, rank, in_block(count, send_to), r, send_to,
+                out_block(p, count, rank));
+    }
+  }
+  return std::move(b).build();
+}
+
+Schedule alltoall_linear(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad alltoall parameters");
+  ScheduleBuilder b(p, 2 * p * count);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in_block(count, rank), out_block(p, count, rank));
+    for (std::int32_t peer = 0; peer < p; ++peer) {
+      if (peer == rank) continue;
+      // All posted in round 0 on both sides: the waitall-everything variant.
+      b.message(0, rank, in_block(count, peer), 0, peer,
+                out_block(p, count, rank));
+    }
+  }
+  // Deduplicate: the loop above adds each directed message once (owned by
+  // its sender), so nothing further to do.
+  return std::move(b).build();
+}
+
+Schedule alltoall_bruck(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad alltoall parameters");
+  const std::int64_t c = count;
+  const std::int64_t half_blocks = (p + 1) / 2;
+  const std::int64_t temp0 = 2 * p * c;
+  const std::int64_t pack0 = 3 * p * c;
+  const std::int64_t unpack0 = pack0 + half_blocks * c;
+  ScheduleBuilder b(p, unpack0 + half_blocks * c);
+
+  const auto temp_block = [&](std::int32_t i) { return Region{temp0 + i * c, c}; };
+
+  // Phase 1: local rotation. temp[i] = in[(rank + i) % p].
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    for (std::int32_t i = 0; i < p; ++i) {
+      b.copy(0, rank, in_block(c, mod(rank + i, p)), temp_block(i));
+    }
+  }
+
+  // Phase 2: log rounds. In round k, blocks whose index has bit k set are
+  // packed and shipped to rank + 2^k; the mirror blocks arrive from
+  // rank - 2^k and are unpacked into the same positions.
+  const int rounds = ceil_log2(p);
+  for (int k = 0; k < rounds; ++k) {
+    const std::int32_t z = std::int32_t{1} << k;
+    // Which block indices move this round (same for every rank).
+    std::vector<std::int32_t> moved;
+    for (std::int32_t i = 0; i < p; ++i) {
+      if (i & z) moved.push_back(i);
+    }
+    if (moved.empty()) continue;
+    const auto nblk = static_cast<std::int64_t>(moved.size());
+    const int round = 1 + 2 * k;  // pack in this round, unpack in the next
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      for (std::int64_t m = 0; m < nblk; ++m) {
+        b.copy(round, rank, temp_block(moved[static_cast<std::size_t>(m)]),
+               Region{pack0 + m * c, c});
+      }
+      b.message(round, rank, Region{pack0, nblk * c}, round, mod(rank + z, p),
+                Region{unpack0, nblk * c});
+    }
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      for (std::int64_t m = 0; m < nblk; ++m) {
+        b.copy(round + 1, rank, Region{unpack0 + m * c, c},
+               temp_block(moved[static_cast<std::size_t>(m)]));
+      }
+    }
+  }
+
+  // Phase 3: inverse rotation into the output. After phase 2, temp[i] on
+  // `rank` holds the block that rank (rank + i) % p originally addressed
+  // to... the final placement is verified by the DataExecutor test:
+  // out[src] = temp[(src - rank + p) % p] reversed within blocks moved —
+  // concretely the standard result is out[(rank - i + p) % p] = temp[i].
+  const int final_round = 1 + 2 * rounds;
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    for (std::int32_t i = 0; i < p; ++i) {
+      b.copy(final_round, rank, temp_block(i), out_block(p, c, mod(rank - i, p)));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,68 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::is_power_of_two;
+using detail::mod;
+
+Schedule alltoallv_pairwise(const std::vector<std::vector<std::int64_t>>& counts) {
+  const auto p = static_cast<std::int32_t>(counts.size());
+  MR_EXPECT(p >= 1, "alltoallv needs at least one rank");
+  for (const auto& row : counts) {
+    MR_EXPECT(static_cast<std::int32_t>(row.size()) == p,
+              "counts must be a p x p matrix");
+    for (std::int64_t c : row) MR_EXPECT(c >= 0, "counts must be non-negative");
+  }
+
+  // Per-rank arena: send blocks laid out by destination (prefix sums of the
+  // rank's row), then recv blocks by source (prefix sums of the column).
+  // The shared schedule arena is the maximum over ranks.
+  std::vector<std::vector<std::int64_t>> send_off(static_cast<std::size_t>(p)),
+      recv_off(static_cast<std::size_t>(p));
+  std::int64_t arena = 0;
+  std::vector<std::int64_t> recv_base(static_cast<std::size_t>(p));
+  for (std::int32_t i = 0; i < p; ++i) {
+    auto& so = send_off[static_cast<std::size_t>(i)];
+    so.resize(static_cast<std::size_t>(p));
+    std::int64_t off = 0;
+    for (std::int32_t j = 0; j < p; ++j) {
+      so[static_cast<std::size_t>(j)] = off;
+      off += counts[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+    recv_base[static_cast<std::size_t>(i)] = off;
+    auto& ro = recv_off[static_cast<std::size_t>(i)];
+    ro.resize(static_cast<std::size_t>(p));
+    for (std::int32_t j = 0; j < p; ++j) {
+      ro[static_cast<std::size_t>(j)] = off;
+      off += counts[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    }
+    arena = std::max(arena, off);
+  }
+
+  ScheduleBuilder b(p, arena);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    const std::int64_t n =
+        counts[static_cast<std::size_t>(rank)][static_cast<std::size_t>(rank)];
+    if (n > 0) {
+      b.copy(0, rank,
+             Region{send_off[static_cast<std::size_t>(rank)][static_cast<std::size_t>(rank)], n},
+             Region{recv_off[static_cast<std::size_t>(rank)][static_cast<std::size_t>(rank)], n});
+    }
+  }
+  for (std::int32_t r = 1; r < p; ++r) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t to = is_power_of_two(p) ? (rank ^ r) : mod(rank + r, p);
+      const std::int64_t n =
+          counts[static_cast<std::size_t>(rank)][static_cast<std::size_t>(to)];
+      if (n == 0) continue;
+      b.message(r, rank,
+                Region{send_off[static_cast<std::size_t>(rank)][static_cast<std::size_t>(to)], n},
+                r, to,
+                Region{recv_off[static_cast<std::size_t>(to)][static_cast<std::size_t>(rank)], n});
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

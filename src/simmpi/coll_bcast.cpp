@@ -1,0 +1,64 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::ceil_log2;
+using detail::chunk_begin;
+using detail::chunk_len;
+using detail::mod;
+
+// Arena: buf [0, c) — input at root, output everywhere.
+
+Schedule bcast_binomial(std::int32_t p, std::int64_t count, std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad bcast parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  ScheduleBuilder b(p, count);
+  const Region buf{0, count};
+  const int rounds = ceil_log2(p);
+  // Work in root-relative rank space: vr 0 is the root. In round k every
+  // vr < 2^k forwards to vr + 2^k. A rank's receive happens in the same
+  // global round its parent sends, keeping the tree pipelined.
+  for (int k = 0; k < rounds; ++k) {
+    const std::int32_t z = std::int32_t{1} << k;
+    for (std::int32_t vr = 0; vr < z && vr + z < p; ++vr) {
+      const std::int32_t src = mod(root + vr, p);
+      const std::int32_t dst = mod(root + vr + z, p);
+      b.message(k, src, buf, k, dst, buf);
+    }
+  }
+  return std::move(b).build();
+}
+
+Schedule bcast_scatter_allgather(std::int32_t p, std::int64_t count,
+                                 std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad bcast parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  ScheduleBuilder b(p, count);
+  if (p == 1) return std::move(b).build();
+
+  // Van de Geijn: the root scatters chunk i to (root + i) % p (binomial in
+  // root-relative space would be better asymptotically; linear keeps the
+  // generator simple and the bandwidth profile identical), then a ring
+  // allgather of chunks completes the broadcast.
+  const auto chunk = [&](std::int64_t i) {
+    return Region{chunk_begin(count, p, i), chunk_len(count, p, i)};
+  };
+  for (std::int32_t i = 1; i < p; ++i) {
+    if (chunk(i).count == 0) continue;
+    b.message(0, root, chunk(i), 0, mod(root + i, p), chunk(i));
+  }
+  // Ring allgather over root-relative positions: vr owns chunk vr.
+  for (std::int32_t t = 0; t < p - 1; ++t) {
+    for (std::int32_t vr = 0; vr < p; ++vr) {
+      const std::int64_t send_chunk = mod(vr - t, p);
+      if (chunk(send_chunk).count == 0) continue;
+      const std::int32_t src = mod(root + vr, p);
+      const std::int32_t dst = mod(root + vr + 1, p);
+      b.message(1 + t, src, chunk(send_chunk), 1 + t, dst, chunk(send_chunk));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

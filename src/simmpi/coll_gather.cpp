@@ -1,0 +1,34 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+Schedule gather_linear(std::int32_t p, std::int64_t count, std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad gather parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  // Arena: in [0,c); out [c, c+p*c) (meaningful at root).
+  ScheduleBuilder b(p, count + p * count);
+  const Region in{0, count};
+  b.copy(0, root, in, Region{count + root * count, count});
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    if (rank == root) continue;
+    b.message(0, rank, in, 0, root, Region{count + rank * count, count});
+  }
+  return std::move(b).build();
+}
+
+Schedule scatter_linear(std::int32_t p, std::int64_t count, std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad scatter parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  // Arena: in [0, p*c) (meaningful at root); out [p*c, p*c + c).
+  ScheduleBuilder b(p, p * count + count);
+  const Region out{p * count, count};
+  b.copy(0, root, Region{root * count, count}, out);
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    if (rank == root) continue;
+    b.message(0, root, Region{rank * count, count}, 0, rank, out);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,32 @@
+// Shared helpers for the collective schedule generators.
+#pragma once
+
+#include <cstdint>
+
+#include "mixradix/simmpi/schedule.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::simmpi::detail {
+
+inline int ceil_log2(std::int64_t n) {
+  MR_EXPECT(n >= 1, "ceil_log2 needs a positive argument");
+  int k = 0;
+  while ((std::int64_t{1} << k) < n) ++k;
+  return k;
+}
+
+inline bool is_power_of_two(std::int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+/// Boundaries of chunk i when splitting `count` elements into `p`
+/// near-equal chunks (used by ring reduce-scatter/allgather so that any
+/// count works, not just multiples of p).
+inline std::int64_t chunk_begin(std::int64_t count, std::int32_t p, std::int64_t i) {
+  return i * count / p;
+}
+inline std::int64_t chunk_len(std::int64_t count, std::int32_t p, std::int64_t i) {
+  return chunk_begin(count, p, i + 1) - chunk_begin(count, p, i);
+}
+
+inline std::int32_t mod(std::int32_t a, std::int32_t p) { return ((a % p) + p) % p; }
+
+}  // namespace mr::simmpi::detail

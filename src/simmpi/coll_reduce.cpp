@@ -1,0 +1,36 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::ceil_log2;
+using detail::mod;
+
+// Arena: in [0,c), out/accumulator [c,2c) — the sum lands in the root's out.
+
+Schedule reduce_binomial(std::int32_t p, std::int64_t count, std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad reduce parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  ScheduleBuilder b(p, 2 * count);
+  const Region in{0, count};
+  const Region acc{count, count};
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in, acc);
+  }
+  const int rounds = ceil_log2(p);
+  // Root-relative binomial tree, mirrored from the broadcast: in round k
+  // (counting down the tree), vr's with bit k set and lower bits clear send
+  // their accumulator to vr - 2^k, which folds it in.
+  for (int k = 0; k < rounds; ++k) {
+    const std::int32_t z = std::int32_t{1} << k;
+    for (std::int32_t vr = z; vr < p; vr += 2 * z) {
+      // vr has bits below k clear by construction of the loop.
+      const std::int32_t src = mod(root + vr, p);
+      const std::int32_t dst = mod(root + vr - z, p);
+      b.message(1 + k, src, acc, 1 + k, dst, acc, Combine::Sum);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,38 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::mod;
+
+Schedule reduce_scatter_ring(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad reduce_scatter parameters");
+  // Arena: in [0, p*c) (block j = contribution to rank j), acc [p*c, 2p*c),
+  // out [2p*c, 2p*c + c). Semantics: out on rank r == sum over ranks of
+  // their in block r.
+  const std::int64_t c = count;
+  const std::int64_t acc0 = p * c;
+  const std::int64_t out0 = 2 * p * c;
+  ScheduleBuilder b(p, out0 + c);
+  const auto acc_block = [&](std::int64_t i) { return Region{acc0 + i * c, c}; };
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, Region{0, p * c}, Region{acc0, p * c});
+  }
+  // Ring accumulation: after p-1 rounds rank r owns the fully reduced
+  // block r (each partial sum travels once around the ring).
+  int round = 1;
+  for (std::int32_t t = 0; t < p - 1; ++t, ++round) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      const std::int32_t to = mod(rank + 1, p);
+      const std::int64_t block = mod(rank - t - 1, p);
+      b.message(round, rank, acc_block(block), round, to, acc_block(block),
+                Combine::Sum);
+    }
+  }
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(round, rank, acc_block(rank), Region{out0, c});
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,51 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+Schedule scan_recursive_doubling(std::int32_t p, std::int64_t count) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad scan parameters");
+  // Arena: in [0,c), out [c,2c), partial [2c,3c), temp [3c,4c).
+  //   out     — inclusive prefix sum of the ranks <= me (the result);
+  //   partial — sum over the contiguous window of ranks ending at me that
+  //             the doubling scheme has accumulated (what gets forwarded);
+  //   temp    — landing zone for the incoming window sum.
+  ScheduleBuilder b(p, 4 * count);
+  const std::int64_t c = count;
+  const Region in{0, c}, out{c, c}, partial{2 * c, c}, temp{3 * c, c};
+  for (std::int32_t rank = 0; rank < p; ++rank) {
+    b.copy(0, rank, in, out);
+    b.copy(0, rank, in, partial);
+  }
+  int round = 1;
+  for (std::int32_t z = 1; z < p; z *= 2) {
+    // Sends happen in `round`; the received window folds into out/partial
+    // in `round + 1` (copies execute at round start, before that round's
+    // sends snapshot `partial`).
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      if (rank + z < p) {
+        b.message(round, rank, partial, round, rank + z, temp);
+      }
+      if (rank - z >= 0) {
+        b.copy(round + 1, rank, temp, out, Combine::Sum);
+        b.copy(round + 1, rank, temp, partial, Combine::Sum);
+      }
+    }
+    round += 2;
+  }
+  return std::move(b).build();
+}
+
+Schedule barrier_dissemination(std::int32_t p) {
+  MR_EXPECT(p >= 1, "bad barrier parameters");
+  ScheduleBuilder b(p, 0);
+  const Region empty{0, 0};
+  for (std::int32_t z = 1, round = 0; z < p; z *= 2, ++round) {
+    for (std::int32_t rank = 0; rank < p; ++rank) {
+      b.message(round, rank, empty, round, detail::mod(rank + z, p), empty);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,82 @@
+// Binomial-tree scatter and gather for arbitrary roots.
+//
+// Both work in root-relative rank space over a staging buffer ordered by
+// relative rank: the root rotates its blocks once, the tree then moves
+// CONTIGUOUS relative-block ranges (rank vr owns [vr, vr+len) and forwards
+// the upper half to vr + len/2), and leaves copy their own slot in or out.
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::mod;
+
+Schedule scatter_binomial(std::int32_t p, std::int64_t count, std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad scatter parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  // Arena: in [0, p*c) (root), temp [p*c, 2p*c) (relative order),
+  // out [2p*c, 2p*c + c).
+  const std::int64_t c = count;
+  const std::int64_t temp0 = p * c;
+  const std::int64_t out0 = 2 * p * c;
+  ScheduleBuilder b(p, out0 + c);
+  // Root rotates absolute blocks into relative order once.
+  for (std::int32_t i = 0; i < p; ++i) {
+    b.copy(0, root, Region{mod(root + i, p) * c, c}, Region{temp0 + i * c, c});
+  }
+  // Tree rounds: in round k (halving), every holder vr with subtree length
+  // len > 2^k... iterate splits from the top: a holder with chunk length
+  // len splits off its upper half to vr + ceil(len/2)-aligned child. We
+  // realise it root-down: round k sends chunks of size 2^k.
+  int rounds = detail::ceil_log2(p);
+  for (int k = rounds - 1; k >= 0; --k) {
+    const std::int32_t z = std::int32_t{1} << k;
+    for (std::int32_t vr = 0; vr < p; vr += 2 * z) {
+      const std::int32_t child = vr + z;
+      if (child >= p) continue;
+      const std::int32_t len = std::min(z, p - child);
+      // vr holds [vr, ...) in its temp; it forwards [child, child+len).
+      b.message(rounds - k, mod(root + vr, p), Region{temp0 + child * c, len * c},
+                rounds - k, mod(root + child, p),
+                Region{temp0 + child * c, len * c});
+    }
+  }
+  for (std::int32_t vr = 0; vr < p; ++vr) {
+    b.copy(rounds + 1, mod(root + vr, p), Region{temp0 + vr * c, c},
+           Region{out0, c});
+  }
+  return std::move(b).build();
+}
+
+Schedule gather_binomial(std::int32_t p, std::int64_t count, std::int32_t root) {
+  MR_EXPECT(p >= 1 && count >= 1, "bad gather parameters");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  // Arena: in [0, c), temp [c, c + p*c) (relative order), out at root
+  // [c + p*c, c + 2p*c) (absolute order).
+  const std::int64_t c = count;
+  const std::int64_t temp0 = c;
+  const std::int64_t out0 = c + p * c;
+  ScheduleBuilder b(p, out0 + p * c);
+  for (std::int32_t vr = 0; vr < p; ++vr) {
+    b.copy(0, mod(root + vr, p), Region{0, c}, Region{temp0 + vr * c, c});
+  }
+  // Mirror of the scatter: children fold their accumulated chunk upward.
+  const int rounds = detail::ceil_log2(p);
+  for (int k = 0; k < rounds; ++k) {
+    const std::int32_t z = std::int32_t{1} << k;
+    for (std::int32_t vr = 0; vr < p; vr += 2 * z) {
+      const std::int32_t child = vr + z;
+      if (child >= p) continue;
+      const std::int32_t len = std::min(z, p - child);
+      b.message(1 + k, mod(root + child, p), Region{temp0 + child * c, len * c},
+                1 + k, mod(root + vr, p), Region{temp0 + child * c, len * c});
+    }
+  }
+  for (std::int32_t i = 0; i < p; ++i) {
+    b.copy(rounds + 1, root, Region{temp0 + i * c, c},
+           Region{out0 + mod(root + i, p) * c, c});
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mr::simmpi

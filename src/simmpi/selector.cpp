@@ -1,0 +1,109 @@
+#include "mixradix/simmpi/collectives.hpp"
+#include "src/simmpi/coll_internal.hpp"
+
+namespace mr::simmpi {
+
+using detail::is_power_of_two;
+
+namespace {
+
+/// Per-rank payload (bytes) each collective contributes, used to pick the
+/// latency- vs bandwidth-optimised algorithm, mirroring the decision
+/// structure of Open MPI's tuned module.
+std::int64_t per_rank_bytes(Collective kind, std::int32_t p, std::int64_t count) {
+  switch (kind) {
+    case Collective::Alltoall:
+      return 8 * count * p;  // a rank touches p blocks
+    case Collective::Allgather:
+      return 8 * count * p;
+    case Collective::Allreduce:
+    case Collective::Bcast:
+    case Collective::Reduce:
+    case Collective::Scan:
+      return 8 * count;
+    case Collective::ReduceScatter:
+    case Collective::Gather:
+    case Collective::Scatter:
+      return 8 * count * p;  // rooted/rotating buffers span all blocks
+    case Collective::Barrier:
+      return 0;
+  }
+  MR_ASSERT_INTERNAL(false);
+  return 0;
+}
+
+}  // namespace
+
+std::string selected_algorithm(Collective kind, std::int32_t p, std::int64_t count,
+                               std::int64_t eager_threshold) {
+  const std::int64_t bytes = per_rank_bytes(kind, p, count);
+  switch (kind) {
+    case Collective::Alltoall:
+      if (p >= 8 && 8 * count <= 512) return "alltoall_bruck";
+      if (p <= 4) return "alltoall_linear";
+      return "alltoall_pairwise";
+    case Collective::Allgather:
+      if (bytes <= eager_threshold) {
+        return is_power_of_two(p) ? "allgather_recursive_doubling"
+                                  : "allgather_bruck";
+      }
+      return "allgather_ring";
+    case Collective::Allreduce:
+      if (bytes <= eager_threshold || p <= 4) {
+        return "allreduce_recursive_doubling";
+      }
+      return "allreduce_ring";
+    case Collective::Bcast:
+      if (bytes <= eager_threshold || p <= 4) return "bcast_binomial";
+      return "bcast_scatter_allgather";
+    case Collective::Reduce:
+      return "reduce_binomial";
+    case Collective::ReduceScatter:
+      return "reduce_scatter_ring";
+    case Collective::Gather:
+      return p <= 4 || bytes > 64 * eager_threshold ? "gather_linear"
+                                                    : "gather_binomial";
+    case Collective::Scatter:
+      return p <= 4 || bytes > 64 * eager_threshold ? "scatter_linear"
+                                                    : "scatter_binomial";
+    case Collective::Scan:
+      return "scan_recursive_doubling";
+    case Collective::Barrier:
+      return "barrier_dissemination";
+  }
+  MR_ASSERT_INTERNAL(false);
+  return {};
+}
+
+Schedule make_collective(Collective kind, std::int32_t p, std::int64_t count,
+                         std::int64_t eager_threshold, std::int32_t root) {
+  const std::string algo = selected_algorithm(kind, p, count, eager_threshold);
+  if (algo == "alltoall_bruck") return alltoall_bruck(p, count);
+  if (algo == "alltoall_linear") return alltoall_linear(p, count);
+  if (algo == "alltoall_pairwise") return alltoall_pairwise(p, count);
+  if (algo == "allgather_recursive_doubling") {
+    return allgather_recursive_doubling(p, count);
+  }
+  if (algo == "allgather_bruck") return allgather_bruck(p, count);
+  if (algo == "allgather_ring") return allgather_ring(p, count);
+  if (algo == "allreduce_recursive_doubling") {
+    return allreduce_recursive_doubling(p, count);
+  }
+  if (algo == "allreduce_ring") return allreduce_ring(p, count);
+  if (algo == "bcast_binomial") return bcast_binomial(p, count, root);
+  if (algo == "bcast_scatter_allgather") {
+    return bcast_scatter_allgather(p, count, root);
+  }
+  if (algo == "reduce_binomial") return reduce_binomial(p, count, root);
+  if (algo == "reduce_scatter_ring") return reduce_scatter_ring(p, count);
+  if (algo == "gather_linear") return gather_linear(p, count, root);
+  if (algo == "gather_binomial") return gather_binomial(p, count, root);
+  if (algo == "scatter_linear") return scatter_linear(p, count, root);
+  if (algo == "scatter_binomial") return scatter_binomial(p, count, root);
+  if (algo == "scan_recursive_doubling") return scan_recursive_doubling(p, count);
+  if (algo == "barrier_dissemination") return barrier_dissemination(p);
+  MR_ASSERT_INTERNAL(false);
+  return {};
+}
+
+}  // namespace mr::simmpi

@@ -1,0 +1,361 @@
+#include "mixradix/simnet/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr::simnet {
+long g_defer_ok=0, g_defer_fail=0, g_full=0, g_pops=0;
+namespace {
+// Bytes below which a flow counts as drained (guards rounding error).
+constexpr double kByteEpsilon = 1e-6;
+// Two completions within this window collapse into one event batch.
+constexpr double kTimeEpsilon = 1e-15;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+FlowSim::FlowSim(std::vector<double> capacities, double completion_slack)
+    : capacities_(std::move(capacities)), completion_slack_(completion_slack) {
+  for (double c : capacities_) {
+    MR_EXPECT(c > 0, "channel capacity must be positive");
+  }
+  MR_EXPECT(completion_slack_ >= 0 && completion_slack_ < 0.5,
+            "completion slack must be in [0, 0.5)");
+  residual_.resize(capacities_.size());
+  load_.resize(capacities_.size());
+  flows_on_.resize(capacities_.size());
+  used_.resize(capacities_.size());
+  nflows_.resize(capacities_.size());
+  freed_.resize(capacities_.size());
+  by_channel_.resize(capacities_.size());
+}
+
+std::int64_t FlowSim::add_flow(std::vector<ChannelId> channels, double bytes,
+                               std::int64_t user) {
+  MR_EXPECT(bytes >= 0, "flow size must be non-negative");
+  std::sort(channels.begin(), channels.end());
+  channels.erase(std::unique(channels.begin(), channels.end()), channels.end());
+  MR_EXPECT(channels.size() <= kMaxChannelsPerFlow,
+            "flow crosses more channels than supported");
+  ChanSet set;
+  for (ChannelId c : channels) {
+    MR_EXPECT(c >= 0 && static_cast<std::size_t>(c) < capacities_.size(),
+              "channel id out of range");
+    set.ids[static_cast<std::size_t>(set.count++)] = c;
+  }
+  const auto ext = static_cast<std::int64_t>(ext_index_.size());
+  ext_index_.push_back(static_cast<std::int64_t>(remaining_.size()) + 1);
+  ext_rate_.push_back(0.0);
+  remaining_.push_back(bytes);
+  rate_.push_back(0.0);
+  user_.push_back(user);
+  ext_id_.push_back(ext);
+  chans_.push_back(set);
+  for (std::int32_t k = 0; k < set.count; ++k) {
+    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+    ++nflows_[ci];
+    auto& list = by_channel_[ci];
+    // Lazy compaction: purge completed entries once they dominate.
+    if (list.size() > 8 && list.size() > 4 * static_cast<std::size_t>(nflows_[ci])) {
+      std::erase_if(list, [&](std::int64_t e) {
+        return ext_index_[static_cast<std::size_t>(e)] == 0;
+      });
+    }
+    list.push_back(ext);
+  }
+  if (!try_defer_allocation(remaining_.size() - 1)) {
+    rates_dirty_ = true;
+  }
+  return ext;
+}
+
+// Deferred allocation: in steady-state traffic (rings, pipelines) each
+// completed flow frees exactly the headroom its successor needs, so a full
+// max-min recompute per event is wasted work. When completion slack is
+// enabled, a new flow may simply grab the available headroom on its path —
+// provided that headroom is within 10% of its estimated fair share, so a
+// congestion shift still forces the exact recomputation. Deferred rates
+// are always feasible (never exceed residual capacity); periodic full
+// recomputes (every kMaxDeferredBatches pop batches) restore exact
+// max-min fairness.
+bool FlowSim::try_defer_allocation(std::size_t index) {
+  if (completion_slack_ <= 0 || rates_dirty_) return false;
+  const ChanSet& set = chans_[index];
+  if (set.count == 0) {
+    rate_[index] = kInf;
+    return true;
+  }
+  double headroom = kInf;
+  double fair = kInf;
+  for (std::int32_t k = 0; k < set.count; ++k) {
+    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+    headroom = std::min(headroom, capacities_[ci] - used_[ci]);
+    fair = std::min(fair, capacities_[ci] / nflows_[ci]);
+  }
+  if (!(headroom >= 0.9 * fair) || headroom <= 0) {
+    if (steal_allocation(index, fair)) return true;
+    ++g_defer_fail;
+    return false;
+  }
+  ++g_defer_ok;
+  rate_[index] = headroom;
+  for (std::int32_t k = 0; k < set.count; ++k) {
+    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+    used_[ci] += headroom;
+    freed_[ci] = std::max(0.0, freed_[ci] - headroom);
+  }
+  return true;
+}
+
+// Steal fallback for deferred allocation: when the freed headroom is not
+// enough (consecutive pipeline rounds overlap in flight), give the new
+// flow its estimated fair share and proportionally scale down the victims
+// on each oversubscribed channel. Rates stay feasible (to within the 1%
+// scale floor that keeps every flow draining), conservative, and the
+// periodic exact recomputation erases the approximation. Refuses when a
+// channel has too many victims — then the exact pass is worth its cost.
+bool FlowSim::steal_allocation(std::size_t index, double fair) {
+  const ChanSet& set = chans_[index];
+  for (std::int32_t k = 0; k < set.count; ++k) {
+    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+    if (used_[ci] + fair > capacities_[ci] && nflows_[ci] > 64) return false;
+  }
+  for (std::int32_t k = 0; k < set.count; ++k) {
+    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+    const double over = used_[ci] + fair - capacities_[ci];
+    if (over <= 0 || used_[ci] <= 0) continue;
+    const double scale =
+        std::max(0.01, (capacities_[ci] - fair) / used_[ci]);
+    if (scale >= 1) continue;
+    for (std::int64_t ext : by_channel_[ci]) {
+      const std::int64_t slot = ext_index_[static_cast<std::size_t>(ext)];
+      if (slot == 0) continue;  // completed
+      const auto f = static_cast<std::size_t>(slot - 1);
+      if (f == index || std::isinf(rate_[f])) continue;
+      const double delta = rate_[f] * (1 - scale);
+      if (delta <= 0) continue;
+      rate_[f] -= delta;
+      const ChanSet& vs = chans_[f];
+      for (std::int32_t j = 0; j < vs.count; ++j) {
+        const auto cj = static_cast<std::size_t>(vs.ids[static_cast<std::size_t>(j)]);
+        used_[cj] = std::max(0.0, used_[cj] - delta);
+      }
+    }
+  }
+  rate_[index] = fair;
+  for (std::int32_t k = 0; k < set.count; ++k) {
+    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+    used_[ci] += fair;
+    freed_[ci] = std::max(0.0, freed_[ci] - fair);
+  }
+  return true;
+}
+
+void FlowSim::recompute_rates() {
+  if (!rates_dirty_) return;
+  ++g_full;
+  rates_dirty_ = false;
+  const std::size_t n = remaining_.size();
+
+  // Per-channel load and flow lists.
+  touched_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChanSet& set = chans_[i];
+    for (std::int32_t k = 0; k < set.count; ++k) {
+      const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+      if (load_[ci] == 0) {
+        touched_.push_back(set.ids[static_cast<std::size_t>(k)]);
+        flows_on_[ci].clear();
+        residual_[ci] = capacities_[ci];
+      }
+      ++load_[ci];
+      flows_on_[ci].push_back(static_cast<std::int32_t>(i));
+    }
+  }
+
+  std::size_t unfrozen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chans_[i].count == 0) {
+      rate_[i] = kInf;
+    } else {
+      rate_[i] = -1.0;  // marker: not yet frozen
+      ++unfrozen;
+    }
+  }
+
+  // Progressive filling, level by level. Each pass finds the global
+  // minimum fair share s and freezes the flows of EVERY channel tied at s:
+  // freezing the flows of one bottleneck only ever raises the share of the
+  // others ((R - s)/(n - 1) >= R/n when s is the global minimum), so ties
+  // stay ties and strictly-larger channels stay above s. The number of
+  // passes equals the number of distinct bottleneck levels, which for
+  // collective traffic is small (one per congestion class), keeping the
+  // whole recompute at O(levels * touched + flow-channel incidences).
+  // `alive` is the compacted working set of channels still carrying
+  // unfrozen flows; saturated channels are swap-removed so later passes
+  // scan progressively fewer entries.
+  std::vector<ChannelId>& alive = touched_scan_;
+  alive = touched_;
+  while (unfrozen > 0) {
+    double s = kInf;
+    for (std::size_t w = 0; w < alive.size();) {
+      const auto ci = static_cast<std::size_t>(alive[w]);
+      if (load_[ci] == 0) {
+        alive[w] = alive.back();
+        alive.pop_back();
+        continue;
+      }
+      s = std::min(s, residual_[ci] / load_[ci]);
+      ++w;
+    }
+    MR_ASSERT_INTERNAL(std::isfinite(s));
+    const double bound = s * (1 + std::max(1e-12, completion_slack_));
+    for (ChannelId c : alive) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (load_[ci] == 0 || residual_[ci] / load_[ci] > bound) continue;
+      for (std::int32_t fi : flows_on_[ci]) {
+        const auto f = static_cast<std::size_t>(fi);
+        if (rate_[f] >= 0) continue;  // already frozen
+        rate_[f] = s;
+        --unfrozen;
+        const ChanSet& set = chans_[f];
+        for (std::int32_t k = 0; k < set.count; ++k) {
+          const auto c2i =
+              static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+          residual_[c2i] = std::max(0.0, residual_[c2i] - s);
+          --load_[c2i];
+        }
+      }
+    }
+  }
+
+  // Rebuild the incremental headroom bookkeeping used by deferred
+  // allocation, and reset the load scratch.
+  for (ChannelId c : touched_) {
+    const auto ci = static_cast<std::size_t>(c);
+    load_[ci] = 0;
+    used_[ci] = 0;
+    freed_[ci] = 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isinf(rate_[i])) continue;
+    const ChanSet& set = chans_[i];
+    for (std::int32_t k = 0; k < set.count; ++k) {
+      used_[static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)])] += rate_[i];
+    }
+  }
+}
+
+void FlowSim::drain(double dt) {
+  if (dt <= 0) return;
+  const std::size_t n = remaining_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_[i] = std::max(0.0, remaining_[i] - rate_[i] * dt);
+  }
+}
+
+std::optional<double> FlowSim::next_completion_time() {
+  if (remaining_.empty()) return std::nullopt;
+  recompute_rates();
+  double best = kInf;
+  const std::size_t n = remaining_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (remaining_[i] <= kByteEpsilon || std::isinf(rate_[i])) {
+      best = 0;
+    } else {
+      MR_ASSERT_INTERNAL(rate_[i] > 0);
+      best = std::min(best, remaining_[i] / rate_[i]);
+    }
+  }
+  return now_ + best;
+}
+
+void FlowSim::advance_to(double t) {
+  MR_EXPECT(t >= now_ - kTimeEpsilon, "cannot advance backwards");
+  recompute_rates();
+  drain(t - now_);
+  now_ = std::max(now_, t);
+}
+
+void FlowSim::remove_active(std::size_t index) {
+  const ChanSet& set = chans_[index];
+  if (!std::isinf(rate_[index])) {
+    for (std::int32_t k = 0; k < set.count; ++k) {
+      const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+      used_[ci] = std::max(0.0, used_[ci] - rate_[index]);
+      --nflows_[ci];
+      // Freed capacity that no successor grabs must eventually be handed
+      // to the surviving flows: once a quarter of a channel sits idle,
+      // force the exact recomputation.
+      freed_[ci] += rate_[index];
+      // Only surviving flows can profit from the freed share; an empty
+      // channel needs no redistribution.
+      if (nflows_[ci] > 0 && freed_[ci] > 0.4 * capacities_[ci]) {
+        rates_dirty_ = true;
+      }
+    }
+  } else {
+    for (std::int32_t k = 0; k < set.count; ++k) {
+      --nflows_[static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)])];
+    }
+  }
+  const std::size_t last = remaining_.size() - 1;
+  ext_rate_[static_cast<std::size_t>(ext_id_[index])] = rate_[index];
+  ext_index_[static_cast<std::size_t>(ext_id_[index])] = 0;
+  if (index != last) {
+    remaining_[index] = remaining_[last];
+    rate_[index] = rate_[last];
+    user_[index] = user_[last];
+    ext_id_[index] = ext_id_[last];
+    chans_[index] = chans_[last];
+    ext_index_[static_cast<std::size_t>(ext_id_[index])] =
+        static_cast<std::int64_t>(index) + 1;
+  }
+  remaining_.pop_back();
+  rate_.pop_back();
+  user_.pop_back();
+  ext_id_.pop_back();
+  chans_.pop_back();
+}
+
+std::vector<Completion> FlowSim::advance_and_pop() {
+  ++g_pops;
+  std::vector<Completion> done;
+  const auto t = next_completion_time();
+  MR_EXPECT(t.has_value(), "no active flows to advance to");
+  const double before = now_;
+  advance_to(*t);
+  // Completion-slack batching: flows whose residual transfer time is within
+  // slack * elapsed-horizon finish in this batch, slightly early.
+  const double merge_window = completion_slack_ * (now_ - before);
+  // Drain rounding: a flow "completes" when its remaining bytes dip under
+  // the epsilon, or instantly when unconstrained. Iterate backwards so the
+  // swap-remove never skips an element.
+  for (std::size_t i = remaining_.size(); i-- > 0;) {
+    if (remaining_[i] > kByteEpsilon && !std::isinf(rate_[i]) &&
+        !(rate_[i] > 0 && remaining_[i] / rate_[i] <= merge_window)) {
+      continue;
+    }
+    done.push_back(Completion{ext_id_[i], user_[i], now_});
+    remove_active(i);
+  }
+  MR_ASSERT_INTERNAL(!done.empty());
+  if (completion_slack_ <= 0 || ++batches_since_full_ >= kMaxDeferredBatches) {
+    batches_since_full_ = 0;
+    rates_dirty_ = true;
+  }
+  return done;
+}
+
+double FlowSim::flow_rate(std::int64_t flow) {
+  MR_EXPECT(flow >= 0 && static_cast<std::size_t>(flow) < ext_index_.size(),
+            "unknown flow");
+  recompute_rates();
+  const std::int64_t idx = ext_index_[static_cast<std::size_t>(flow)];
+  if (idx == 0) return ext_rate_[static_cast<std::size_t>(flow)];
+  return rate_[static_cast<std::size_t>(idx - 1)];
+}
+
+}  // namespace mr::simnet

@@ -1,0 +1,73 @@
+#include "mixradix/slurm/distribution.hpp"
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace mr::slurm {
+
+namespace {
+
+NodeDist parse_node_policy(std::string_view token, int& plane_size) {
+  if (token == "block") return NodeDist::Block;
+  if (token == "cyclic") return NodeDist::Cyclic;
+  if (token.starts_with("plane=")) {
+    plane_size = util::parse_int(token.substr(6));
+    MR_EXPECT(plane_size >= 1, "plane size must be >= 1");
+    return NodeDist::Plane;
+  }
+  MR_EXPECT(false, "unknown node distribution '" + std::string(token) + "'");
+  return NodeDist::Block;  // unreachable
+}
+
+SocketDist parse_socket_policy(std::string_view token) {
+  if (token == "block") return SocketDist::Block;
+  if (token == "cyclic" || token == "fcyclic") return SocketDist::Cyclic;
+  MR_EXPECT(false, "unknown socket distribution '" + std::string(token) + "'");
+  return SocketDist::Block;  // unreachable
+}
+
+}  // namespace
+
+Distribution Distribution::parse(std::string_view text) {
+  const auto parts = util::split(util::trim(text), ':');
+  MR_EXPECT(parts.size() >= 1 && parts.size() <= 2,
+            "expected <node>[:<socket>] in '" + std::string(text) + "'");
+  Distribution d;
+  d.node = parse_node_policy(parts[0], d.plane_size);
+  if (parts.size() == 2) {
+    MR_EXPECT(d.node != NodeDist::Plane,
+              "plane= does not take a socket policy in Slurm syntax");
+    d.socket = parse_socket_policy(parts[1]);
+  }
+  return d;
+}
+
+std::string Distribution::to_string() const {
+  switch (node) {
+    case NodeDist::Plane:
+      return "plane=" + std::to_string(plane_size);
+    case NodeDist::Block:
+      return std::string("block:") + (socket == SocketDist::Block ? "block" : "cyclic");
+    case NodeDist::Cyclic:
+      return std::string("cyclic:") + (socket == SocketDist::Block ? "block" : "cyclic");
+  }
+  MR_ASSERT_INTERNAL(false);
+  return {};
+}
+
+MachineView MachineView::from_hierarchy(const Hierarchy& h) {
+  MR_EXPECT(h.depth() >= 2, "need at least node and core levels");
+  MachineView m;
+  m.nodes = h.radix(0);
+  if (h.depth() == 2) {
+    m.sockets_per_node = 1;
+    m.cores_per_socket = h.radix(1);
+  } else {
+    m.sockets_per_node = h.radix(1);
+    m.cores_per_socket = h.leaves_below(2);
+  }
+  return m;
+}
+
+}  // namespace mr::slurm

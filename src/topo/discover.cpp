@@ -1,0 +1,127 @@
+#include "mixradix/topo/discover.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mr::topo {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::optional<int> read_int_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  int value = 0;
+  in >> value;
+  if (!in) return std::nullopt;
+  return value;
+}
+
+struct CpuInfo {
+  int package = 0;
+  int numa = 0;
+  int core = 0;  // physical core id within package (SMT siblings share it)
+};
+
+}  // namespace
+
+std::optional<Hierarchy> discover_host(const std::string& sysfs_root) {
+  const fs::path cpu_dir = fs::path(sysfs_root) / "devices/system/cpu";
+  std::error_code ec;
+  if (!fs::is_directory(cpu_dir, ec)) return std::nullopt;
+
+  // NUMA node of each cpu: scan node directories (they contain cpuN links).
+  std::map<int, int> numa_of_cpu;
+  const fs::path node_dir = fs::path(sysfs_root) / "devices/system/node";
+  if (fs::is_directory(node_dir, ec)) {
+    for (const auto& entry : fs::directory_iterator(node_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("node", 0) != 0) continue;
+      int node_id = 0;
+      try {
+        node_id = std::stoi(name.substr(4));
+      } catch (...) {
+        continue;
+      }
+      for (const auto& sub : fs::directory_iterator(entry.path(), ec)) {
+        const std::string sub_name = sub.path().filename().string();
+        if (sub_name.rfind("cpu", 0) == 0 && sub_name.size() > 3 &&
+            std::isdigit(static_cast<unsigned char>(sub_name[3]))) {
+          try {
+            numa_of_cpu[std::stoi(sub_name.substr(3))] = node_id;
+          } catch (...) {
+          }
+        }
+      }
+    }
+  }
+
+  std::map<int, CpuInfo> cpus;  // logical cpu -> location
+  for (const auto& entry : fs::directory_iterator(cpu_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("cpu", 0) != 0 || name.size() <= 3 ||
+        !std::isdigit(static_cast<unsigned char>(name[3]))) {
+      continue;
+    }
+    int cpu_id = 0;
+    try {
+      cpu_id = std::stoi(name.substr(3));
+    } catch (...) {
+      continue;
+    }
+    const auto pkg = read_int_file(entry.path() / "topology/physical_package_id");
+    const auto core = read_int_file(entry.path() / "topology/core_id");
+    if (!pkg || !core) continue;  // offline cpu or exotic sysfs
+    CpuInfo info;
+    info.package = *pkg;
+    info.core = *core;
+    const auto numa_it = numa_of_cpu.find(cpu_id);
+    info.numa = numa_it == numa_of_cpu.end() ? *pkg : numa_it->second;
+    cpus.emplace(cpu_id, info);
+  }
+  if (cpus.empty()) return std::nullopt;
+
+  // Count physical cores per (package, numa); ignore SMT siblings.
+  std::set<int> packages;
+  std::map<int, std::set<int>> numas_per_package;
+  std::map<std::pair<int, int>, std::set<int>> cores_per_numa;
+  for (const auto& [cpu, info] : cpus) {
+    packages.insert(info.package);
+    numas_per_package[info.package].insert(info.numa);
+    cores_per_numa[{info.package, info.numa}].insert(info.core);
+  }
+
+  // Homogeneity (§3.2 constraint 2): every package must hold the same
+  // number of NUMA domains, every domain the same number of cores.
+  const std::size_t numas = numas_per_package.begin()->second.size();
+  for (const auto& [pkg, set] : numas_per_package) {
+    if (set.size() != numas) return std::nullopt;
+  }
+  const std::size_t cores = cores_per_numa.begin()->second.size();
+  for (const auto& [key, set] : cores_per_numa) {
+    if (set.size() != cores) return std::nullopt;
+  }
+
+  std::vector<int> radices;
+  std::vector<std::string> names;
+  if (packages.size() > 1) {
+    radices.push_back(static_cast<int>(packages.size()));
+    names.emplace_back("socket");
+  }
+  if (numas > 1) {
+    radices.push_back(static_cast<int>(numas));
+    names.emplace_back("numa");
+  }
+  if (cores > 1) {
+    radices.push_back(static_cast<int>(cores));
+    names.emplace_back("core");
+  }
+  if (radices.empty()) return std::nullopt;  // single-core host: no hierarchy
+  return Hierarchy(std::move(radices), std::move(names));
+}
+
+}  // namespace mr::topo

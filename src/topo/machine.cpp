@@ -1,0 +1,113 @@
+#include "mixradix/topo/machine.hpp"
+
+#include <utility>
+
+#include "mixradix/mr/metrics.hpp"
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace mr::topo {
+
+namespace {
+
+Hierarchy hierarchy_from_levels(const std::vector<LevelSpec>& levels) {
+  MR_EXPECT(!levels.empty(), "machine needs at least one level");
+  std::vector<int> radices;
+  std::vector<std::string> names;
+  for (const auto& spec : levels) {
+    radices.push_back(spec.radix);
+    names.push_back(spec.name);
+  }
+  return Hierarchy(std::move(radices), std::move(names));
+}
+
+}  // namespace
+
+Machine::Machine(std::string name, std::vector<LevelSpec> levels,
+                 MessagingCosts costs, double core_flops)
+    : name_(std::move(name)),
+      levels_(std::move(levels)),
+      hierarchy_(hierarchy_from_levels(levels_)),
+      costs_(costs),
+      core_flops_(core_flops) {
+  for (const auto& spec : levels_) {
+    MR_EXPECT(spec.link_latency >= 0 && spec.link_bandwidth > 0,
+              "level '" + spec.name + "' needs positive link bandwidth");
+    MR_EXPECT(spec.mem_bandwidth >= 0, "memory bandwidth must be >= 0");
+  }
+  MR_EXPECT(core_flops_ > 0, "core_flops must be positive");
+  level_offset_.resize(levels_.size());
+  for (int k = 0; k < depth(); ++k) {
+    level_offset_[static_cast<std::size_t>(k)] = total_components_;
+    total_components_ += hierarchy_.components_at(k);
+  }
+}
+
+const LevelSpec& Machine::level(int k) const {
+  MR_EXPECT(k >= 0 && k < depth(), "level out of range");
+  return levels_[static_cast<std::size_t>(k)];
+}
+
+std::int64_t Machine::component_of(std::int64_t core, int level) const {
+  MR_EXPECT(core >= 0 && core < cores(), "core id out of range");
+  MR_EXPECT(level >= 0 && level < depth(), "level out of range");
+  return core / hierarchy_.leaves_below(level + 1);
+}
+
+std::int64_t Machine::component_id(int level, std::int64_t component_in_level) const {
+  MR_EXPECT(level >= 0 && level < depth(), "level out of range");
+  MR_EXPECT(component_in_level >= 0 &&
+                component_in_level < hierarchy_.components_at(level),
+            "component index out of range");
+  return level_offset_[static_cast<std::size_t>(level)] + component_in_level;
+}
+
+double Machine::path_latency(std::int64_t core_a, std::int64_t core_b) const {
+  if (core_a == core_b) return costs_.base_latency;
+  const Coords a = decompose(hierarchy_, core_a);
+  const Coords b = decompose(hierarchy_, core_b);
+  const int fd = innermost_common_level(hierarchy_, a, b);
+  double latency = costs_.base_latency;
+  for (int k = fd; k < depth(); ++k) {
+    latency += 2.0 * levels_[static_cast<std::size_t>(k)].link_latency;
+  }
+  return latency;
+}
+
+Machine Machine::with_nodes(int nodes) const {
+  MR_EXPECT(nodes >= 2, "need at least two nodes at the outer level");
+  std::vector<LevelSpec> levels = levels_;
+  levels[0].radix = nodes;
+  return Machine(name_, std::move(levels), costs_, core_flops_);
+}
+
+Machine Machine::with_nic_scale(double factor) const {
+  MR_EXPECT(factor > 0, "NIC scale must be positive");
+  std::vector<LevelSpec> levels = levels_;
+  levels[0].link_bandwidth *= factor;
+  return Machine(name_, std::move(levels), costs_, core_flops_);
+}
+
+Machine Machine::with_costs(MessagingCosts costs) const {
+  return Machine(name_, levels_, costs, core_flops_);
+}
+
+std::string Machine::describe() const {
+  std::string out = name_ + " " + hierarchy_.to_string() + ", " +
+                    std::to_string(cores()) + " cores\n";
+  for (int k = 0; k < depth(); ++k) {
+    const auto& spec = levels_[static_cast<std::size_t>(k)];
+    out += "  level " + std::to_string(k) + " (" + spec.name +
+           "): radix " + std::to_string(spec.radix) + ", uplink " +
+           util::format_bytes(static_cast<std::uint64_t>(spec.link_bandwidth)) +
+           "/s, hop " + util::format_fixed(spec.link_latency * 1e9, 0) + " ns";
+    if (spec.mem_bandwidth > 0) {
+      out += ", mem " +
+             util::format_bytes(static_cast<std::uint64_t>(spec.mem_bandwidth)) + "/s";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mr::topo

@@ -1,0 +1,89 @@
+#include "mixradix/topo/presets.hpp"
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr::topo {
+
+Machine hydra(int nodes, int nics) {
+  MR_EXPECT(nics == 1 || nics == 2, "Hydra nodes have one or two NICs");
+  std::vector<LevelSpec> levels = {
+      // Omni-Path HFI: 100 Gb/s = 12.5 GB/s per NIC, ~1 us fabric hop.
+      {"node", nodes, 1.0e-6, 12.5e9 * nics, 0.0},
+      // UPI cross-socket: ~20 GB/s sustained, DDR4-2666 6ch per socket.
+      {"socket", 2, 4.0e-7, 20.0e9, 85.0e9},
+      // Fake level: halves of a socket (the paper's 2 x 8 split); traffic
+      // between halves rides the on-die mesh.
+      {"half", 2, 1.5e-7, 40.0e9, 48.0e9},
+      // Within a half: shared-memory copies, bounded per core.
+      {"core", 8, 1.0e-7, 9.0e9, 12.0e9},
+  };
+  // Xeon Gold 6130F: 2.1 GHz, AVX-512; ~33.6 GFLOP/s sustained per core.
+  return Machine("hydra", std::move(levels), MessagingCosts{}, 33.6e9);
+}
+
+Machine lumi(int nodes) {
+  std::vector<LevelSpec> levels = {
+      // Slingshot-11: 200 Gb/s = 25 GB/s, ~0.9 us fabric hop.
+      {"node", nodes, 9.0e-7, 25.0e9, 0.0},
+      // xGMI socket interconnect; 8-channel DDR4-3200 per socket.
+      {"socket", 2, 3.5e-7, 36.0e9, 190.0e9},
+      // NUMA domain (NPS4): quarter of the socket's memory controllers.
+      {"numa", 4, 1.8e-7, 45.0e9, 48.0e9},
+      // CCX: 8 cores behind one L3; Infinity-Fabric port to memory.
+      {"l3", 2, 1.2e-7, 60.0e9, 32.0e9},
+      {"core", 8, 8.0e-8, 10.0e9, 20.0e9},
+  };
+  // EPYC 7763: 2.45 GHz; ~39 GFLOP/s sustained per core.
+  MessagingCosts costs;
+  costs.base_latency = 2.5e-7;  // Slingshot + Cray MPICH are snappier.
+  return Machine("lumi", std::move(levels), costs, 39.0e9);
+}
+
+Machine lumi_node() {
+  std::vector<LevelSpec> levels = {
+      {"socket", 2, 3.5e-7, 36.0e9, 190.0e9},
+      {"numa", 4, 1.8e-7, 45.0e9, 48.0e9},
+      {"l3", 2, 1.2e-7, 60.0e9, 32.0e9},
+      {"core", 8, 8.0e-8, 10.0e9, 20.0e9},
+  };
+  MessagingCosts costs;
+  costs.base_latency = 2.5e-7;
+  return Machine("lumi-node", std::move(levels), costs, 39.0e9);
+}
+
+Machine hydra_node(int nics) {
+  MR_EXPECT(nics == 1 || nics == 2, "Hydra nodes have one or two NICs");
+  (void)nics;  // a single node never exercises its NIC
+  std::vector<LevelSpec> levels = {
+      {"socket", 2, 4.0e-7, 20.0e9, 85.0e9},
+      {"half", 2, 1.5e-7, 40.0e9, 48.0e9},
+      {"core", 8, 1.0e-7, 9.0e9, 12.0e9},
+  };
+  return Machine("hydra-node", std::move(levels), MessagingCosts{}, 33.6e9);
+}
+
+Machine testbox() {
+  std::vector<LevelSpec> levels = {
+      {"node", 2, 0.0, 1.0e9, 0.0},
+      {"socket", 2, 0.0, 2.0e9, 8.0e9},
+      {"core", 4, 0.0, 4.0e9, 4.0e9},
+  };
+  MessagingCosts costs;
+  costs.send_overhead = 0.0;
+  costs.recv_overhead = 0.0;
+  costs.base_latency = 0.0;
+  costs.eager_threshold = 0;  // everything rendezvous: fully deterministic
+  costs.reduce_seconds_per_byte = 0.0;
+  return Machine("testbox", std::move(levels), costs, 1.0e9);
+}
+
+Machine generic(int nodes, int sockets, int cores_per_socket) {
+  std::vector<LevelSpec> levels = {
+      {"node", nodes, 1.0e-6, 12.5e9, 0.0},
+      {"socket", sockets, 3.0e-7, 25.0e9, 100.0e9},
+      {"core", cores_per_socket, 1.0e-7, 10.0e9, 15.0e9},
+  };
+  return Machine("generic", std::move(levels));
+}
+
+}  // namespace mr::topo

@@ -1,0 +1,47 @@
+#include "mixradix/util/csv.hpp"
+
+#include <cstdio>
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), arity_(header.size()) {
+  MR_EXPECT(!header.empty(), "CSV header must not be empty");
+  write_line(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  MR_EXPECT(fields.size() == arity_, "CSV row arity mismatch");
+  write_line(fields);
+}
+
+std::string CsvWriter::to_field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << csv_escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace mr::util

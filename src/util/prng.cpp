@@ -1,0 +1,5 @@
+#include "mixradix/util/prng.hpp"
+
+// All PRNG code is header-only; this translation unit exists so the build
+// has a stable object for the module and to host future non-inline helpers.
+namespace mr::util {}

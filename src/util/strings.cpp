@@ -1,0 +1,83 @@
+#include "mixradix/util/strings.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string join_ints(const std::vector<int>& values, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += sep;
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+int parse_int(std::string_view s) {
+  s = trim(s);
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  MR_EXPECT(ec == std::errc{} && ptr == s.data() + s.size(),
+            "not an integer: '" + std::string(s) + "'");
+  return value;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (value == static_cast<std::uint64_t>(value)) {
+    std::snprintf(buf, sizeof buf, "%llu %s",
+                  static_cast<unsigned long long>(value), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace mr::util

@@ -1,0 +1,110 @@
+// The communication-matrix baseline mapper (§2's TreeMatch-style tools).
+#include "mixradix/baseline/comm_matrix_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mixradix/apps/splatt.hpp"
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::baseline {
+namespace {
+
+CommMatrix zero_matrix(std::int64_t p) {
+  return CommMatrix(static_cast<std::size_t>(p),
+                    std::vector<double>(static_cast<std::size_t>(p), 0));
+}
+
+TEST(CommMatrixMapper, PlacementIsAPermutation) {
+  const Hierarchy h{2, 2, 4};
+  auto m = zero_matrix(16);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      if (i != j) m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = (i * 31 + j * 7) % 13;
+    }
+  }
+  auto placement = map_by_comm_matrix(h, m);
+  std::sort(placement.begin(), placement.end());
+  for (std::int64_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(placement[static_cast<std::size_t>(c)], c);
+  }
+}
+
+TEST(CommMatrixMapper, BlockDiagonalMatrixPacksGroups) {
+  // Four cliques of four heavy communicators on [2,2,4]: each clique must
+  // land inside one socket (pairwise hop cost 1 within a clique).
+  const Hierarchy h{2, 2, 4};
+  auto m = zero_matrix(16);
+  for (int g = 0; g < 4; ++g) {
+    for (int a = 0; a < 4; ++a) {
+      for (int b = 0; b < 4; ++b) {
+        if (a != b) {
+          // Scatter clique members across initial ids: member = g + 4*a.
+          m[static_cast<std::size_t>(g + 4 * a)][static_cast<std::size_t>(g + 4 * b)] = 100.0;
+        }
+      }
+    }
+  }
+  const auto placement = map_by_comm_matrix(h, m);
+  for (int g = 0; g < 4; ++g) {
+    // All four members of clique g share a socket (same core/4 quotient).
+    const std::int64_t socket = placement[static_cast<std::size_t>(g)] / 4;
+    for (int a = 1; a < 4; ++a) {
+      EXPECT_EQ(placement[static_cast<std::size_t>(g + 4 * a)] / 4, socket)
+          << "clique " << g << " member " << a;
+    }
+  }
+}
+
+TEST(CommMatrixMapper, BeatsWorstOrderOnItsOwnMetric) {
+  // On the Splatt comm matrix, the matrix-driven mapping must achieve a
+  // weighted hop cost no worse than the identity placement.
+  const Hierarchy h{4, 2, 2, 8};  // 128 "cores"
+  const auto spec = apps::splatt::nell1_like();
+  const auto grid = apps::splatt::default_grid(128);
+  const auto matrix = apps::splatt::cpd_comm_matrix(spec, grid, 16);
+  const auto placement = map_by_comm_matrix(h, matrix);
+  std::vector<std::int64_t> identity(128);
+  for (std::int64_t i = 0; i < 128; ++i) identity[static_cast<std::size_t>(i)] = i;
+  EXPECT_LE(weighted_hop_cost(h, matrix, placement),
+            weighted_hop_cost(h, matrix, identity));
+}
+
+TEST(CommMatrixMapper, ValidatesShape) {
+  const Hierarchy h{2, 2};
+  EXPECT_THROW(map_by_comm_matrix(h, zero_matrix(3)), invalid_argument);
+  auto ragged = zero_matrix(4);
+  ragged[1].pop_back();
+  EXPECT_THROW(map_by_comm_matrix(h, ragged), invalid_argument);
+}
+
+TEST(WeightedHopCost, CountsCrossings) {
+  const Hierarchy h{2, 2, 4};
+  auto m = zero_matrix(16);
+  m[0][1] = 10.0;  // one directed pair
+  std::vector<std::int64_t> identity(16);
+  for (std::int64_t i = 0; i < 16; ++i) identity[static_cast<std::size_t>(i)] = i;
+  // Ranks 0,1 on cores 0,1: same socket, hop cost 1 -> 10.
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(h, m, identity), 10.0);
+  // Place rank 1 on the other node: hop cost 3 -> 30.
+  auto far = identity;
+  far[1] = 8;
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(h, m, far), 30.0);
+}
+
+TEST(CpdCommMatrix, SymmetricStructureAcrossLayers) {
+  const auto spec = apps::splatt::nell1_like();
+  const auto grid = apps::splatt::default_grid(64);
+  const auto matrix = apps::splatt::cpd_comm_matrix(spec, grid, 16);
+  ASSERT_EQ(matrix.size(), 64u);
+  // Ranks only talk to layer partners: rank 0's mode-0 partners are
+  // strided by p2*p3 = 16.
+  EXPECT_GT(matrix[0][16], 0);
+  EXPECT_EQ(matrix[0][17], 0);  // different layer in every mode
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(matrix[i][i], 0);
+}
+
+}  // namespace
+}  // namespace mr::baseline

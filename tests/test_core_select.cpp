@@ -1,0 +1,126 @@
+// Tests for Algorithm 3 (core selection) and the §3.4 examples.
+#include "mixradix/mr/core_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mixradix/mr/decompose.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr {
+namespace {
+
+// §3.4: on the Fig. 1 machine (per-node ⟦2,4⟧... the paper discusses 2
+// nodes of ⟦2,4⟧ each, i.e. the machine ⟦2,2,4⟧), selecting all cores of
+// the first socket on both nodes yields sub-hierarchy ⟦2,4⟧; selecting two
+// cores per socket yields ⟦2,2,2⟧.
+TEST(SelectedHierarchy, PaperSection34Examples) {
+  const Hierarchy machine{2, 2, 4};
+  // All cores of socket 0 on both nodes: cores 0-3 and 8-11.
+  const auto socket_first = selected_hierarchy(machine, {0, 1, 2, 3, 8, 9, 10, 11});
+  ASSERT_TRUE(socket_first.has_value());
+  EXPECT_EQ(*socket_first, Hierarchy({2, 4}));
+  // Two cores per socket: 0,1 / 4,5 / 8,9 / 12,13.
+  const auto two_per_socket = selected_hierarchy(machine, {0, 1, 4, 5, 8, 9, 12, 13});
+  ASSERT_TRUE(two_per_socket.has_value());
+  EXPECT_EQ(*two_per_socket, Hierarchy({2, 2, 2}));
+}
+
+TEST(SelectedHierarchy, NonRectangularSetsHaveNone) {
+  const Hierarchy machine{2, 2, 4};
+  // Socket 0 of node 0 plus socket 1 of node 1: an L-shape, not a product.
+  EXPECT_FALSE(selected_hierarchy(machine, {0, 1, 2, 3, 12, 13, 14, 15}).has_value());
+  // A single core has no hierarchy either.
+  EXPECT_FALSE(selected_hierarchy(machine, {5}).has_value());
+}
+
+TEST(SelectCores, WholeNodeIsAReordering) {
+  const Hierarchy node{2, 4};  // 2 sockets x 4 cores
+  // Order [0,1] makes the socket level vary fastest: new rank of core
+  // (s, c) is s + 2c, so position r holds core (r%2)*4 + r/2.
+  const auto list = select_cores(node, {0, 1}, 8);
+  const std::vector<std::int64_t> expected{0, 4, 1, 5, 2, 6, 3, 7};
+  EXPECT_EQ(list, expected);
+  // Order [1,0] (core level fastest) is the physical enumeration.
+  const auto identity = select_cores(node, {1, 0}, 8);
+  EXPECT_EQ(identity, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(SelectCores, PrefixSelection) {
+  const Hierarchy node{2, 4};
+  // Cyclic-across-sockets order, 4 cores: first two cores of each socket.
+  EXPECT_EQ(select_cores(node, {0, 1}, 4), (std::vector<std::int64_t>{0, 4, 1, 5}));
+  // Physical order, 4 cores: the first socket only.
+  EXPECT_EQ(select_cores(node, {1, 0}, 4), (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(SelectCores, ValidatesInputs) {
+  const Hierarchy node{2, 4};
+  EXPECT_THROW(select_cores(node, {0, 1}, 0), invalid_argument);
+  EXPECT_THROW(select_cores(node, {0, 1}, 9), invalid_argument);
+  EXPECT_THROW(select_cores(node, {0, 1, 2}, 4), invalid_argument);
+}
+
+TEST(SelectCores, EveryPositionFilled) {
+  const Hierarchy node{2, 2, 4};
+  for (const Order& order : all_orders_lexicographic(3)) {
+    for (std::int64_t n : {1, 2, 4, 8, 16}) {
+      const auto list = select_cores(node, order, n);
+      ASSERT_EQ(static_cast<std::int64_t>(list.size()), n);
+      std::set<std::int64_t> unique(list.begin(), list.end());
+      ASSERT_EQ(static_cast<std::int64_t>(unique.size()), n);
+      for (std::int64_t core : list) {
+        ASSERT_GE(core, 0);
+        ASSERT_LT(core, 16);
+      }
+    }
+  }
+}
+
+TEST(MapCpuString, Format) {
+  EXPECT_EQ(map_cpu_string({0, 8, 16}), "map_cpu:0,8,16");
+  EXPECT_EQ(map_cpu_string({5}), "map_cpu:5");
+}
+
+TEST(CoreSetRanges, Fig9StyleRendering) {
+  EXPECT_EQ(core_set_ranges({0, 1, 2, 3}), "0-3");
+  EXPECT_EQ(core_set_ranges({0, 16, 32, 48}), "0,16,32,48");
+  EXPECT_EQ(core_set_ranges({0, 1, 8, 9, 64, 65, 72, 73}), "0-1,8-9,64-65,72-73");
+  EXPECT_EQ(core_set_ranges({7}), "7");
+}
+
+TEST(EnumerateSelections, DropsIdenticalMapsAndGroupsBySet) {
+  // LUMI node hierarchy ⟦2,4,2,8⟧ with 2 processes: Fig. 9's top group
+  // shows 4 distinct selections: {0,64}, {0,16}, {0,8}, {0,1}.
+  const Hierarchy lumi_node{2, 4, 2, 8};
+  const auto outcomes = enumerate_selections(lumi_node, 2);
+  std::set<std::vector<std::int64_t>> sets;
+  for (const auto& o : outcomes) sets.insert(o.core_set);
+  EXPECT_EQ(sets.size(), 4u);
+  EXPECT_TRUE(sets.contains(std::vector<std::int64_t>{0, 64}));
+  EXPECT_TRUE(sets.contains(std::vector<std::int64_t>{0, 16}));
+  EXPECT_TRUE(sets.contains(std::vector<std::int64_t>{0, 8}));
+  EXPECT_TRUE(sets.contains(std::vector<std::int64_t>{0, 1}));
+  // With 2 processes the rank order within a set is never distinguishable
+  // (swapping two ranks of a symmetric pair), so each set appears once.
+  EXPECT_EQ(outcomes.size(), 4u);
+}
+
+TEST(EnumerateSelections, OutcomesAreGroupedContiguouslyBySet) {
+  const Hierarchy node{2, 2, 4};
+  const auto outcomes = enumerate_selections(node, 4);
+  // Sets must form contiguous runs (Fig. 9 clusters bars by color).
+  std::set<std::vector<std::int64_t>> seen;
+  const std::vector<std::int64_t>* current = nullptr;
+  for (const auto& o : outcomes) {
+    if (current == nullptr || o.core_set != *current) {
+      ASSERT_TRUE(seen.insert(o.core_set).second)
+          << "core set repeated non-contiguously";
+      current = &o.core_set;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mr

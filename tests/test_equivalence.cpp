@@ -1,0 +1,112 @@
+// Order equivalence classes (§3.3's "similar orders" discussion).
+#include "mixradix/mr/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr {
+namespace {
+
+// §3.3's worked example on [2,2,4] with communicators of 4:
+// [2,0,1] and [2,1,0] map communicators to the same core sets (only
+// exchanging whole communicators); [0,1,2] and [1,0,2] share core sets but
+// differ in the internal rank order.
+TEST(Equivalence, PaperExamplesOnFig2) {
+  const Hierarchy h{2, 2, 4};
+
+  const auto same_sets = classify_orders(h, 4, Equivalence::SameSetsOnly);
+  const auto class_of = [&](const Order& order) -> const OrderClass* {
+    for (const auto& cls : same_sets) {
+      for (const auto& member : cls.members) {
+        if (member == order) return &cls;
+      }
+    }
+    return nullptr;
+  };
+  EXPECT_EQ(class_of({2, 0, 1}), class_of({2, 1, 0}));
+  EXPECT_EQ(class_of({0, 1, 2}), class_of({1, 0, 2}));
+  EXPECT_NE(class_of({0, 1, 2}), class_of({2, 1, 0}));
+
+  // At the finer granularity, [0,1,2] and [1,0,2] separate (their ring
+  // costs are 9 vs 7) while [2,0,1] and [2,1,0] stay together (each
+  // communicator keeps its internal order; only the sockets swap).
+  const auto internal = classify_orders(h, 4, Equivalence::SameSetsAndInternal);
+  const auto class_of_internal = [&](const Order& order) -> const OrderClass* {
+    for (const auto& cls : internal) {
+      for (const auto& member : cls.members) {
+        if (member == order) return &cls;
+      }
+    }
+    return nullptr;
+  };
+  EXPECT_NE(class_of_internal({0, 1, 2}), class_of_internal({1, 0, 2}));
+  EXPECT_EQ(class_of_internal({2, 0, 1}), class_of_internal({2, 1, 0}));
+}
+
+TEST(Equivalence, GranularitiesAreNested) {
+  const Hierarchy h{2, 2, 4};
+  for (std::int64_t comm_size : {2, 4, 8}) {
+    const auto exact = classify_orders(h, comm_size, Equivalence::ExactPlacement);
+    const auto internal =
+        classify_orders(h, comm_size, Equivalence::SameSetsAndInternal);
+    const auto sets = classify_orders(h, comm_size, Equivalence::SameSetsOnly);
+    EXPECT_GE(exact.size(), internal.size());
+    EXPECT_GE(internal.size(), sets.size());
+    // Every order appears in exactly one class at each granularity.
+    for (const auto& classes : {exact, internal, sets}) {
+      std::set<Order> seen;
+      for (const auto& cls : classes) {
+        for (const auto& member : cls.members) {
+          EXPECT_TRUE(seen.insert(member).second);
+        }
+      }
+      EXPECT_EQ(static_cast<long long>(seen.size()), factorial(h.depth()));
+    }
+  }
+}
+
+TEST(Equivalence, ExactPlacementMergesOrdersWithIdenticalMaps) {
+  // On [2,2,4], exact placement classes number fewer than 3! = 6 only when
+  // two orders produce the same map — which never happens for distinct
+  // radix patterns... with equal radices at two levels it can. Check a
+  // hierarchy with repeated radices where swapping equal levels changes
+  // the map anyway (levels are positional, not value-based).
+  const Hierarchy h{2, 2, 2};
+  const auto exact = classify_orders(h, 2, Equivalence::ExactPlacement);
+  std::size_t members = 0;
+  for (const auto& cls : exact) members += cls.members.size();
+  EXPECT_EQ(members, 6u);
+}
+
+TEST(Equivalence, DistinctOrdersReturnsRepresentatives) {
+  const Hierarchy h{16, 2, 2, 8};
+  const auto reps = distinct_orders(h, 16, Equivalence::SameSetsAndInternal);
+  EXPECT_LT(reps.size(), 24u);  // must actually deduplicate
+  EXPECT_GE(reps.size(), 6u);
+  const std::set<Order> unique(reps.begin(), reps.end());
+  EXPECT_EQ(unique.size(), reps.size());
+}
+
+TEST(Equivalence, RepresentativeMetricsMatchMembers) {
+  // Pair percentages are a class invariant at SameSetsOnly granularity.
+  const Hierarchy h{2, 2, 4};
+  for (const auto& cls : classify_orders(h, 4, Equivalence::SameSetsOnly)) {
+    for (const auto& member : cls.members) {
+      EXPECT_EQ(characterize_order(h, member, 4).pair_pct,
+                cls.representative.pair_pct)
+          << order_to_string(member);
+    }
+  }
+}
+
+TEST(Equivalence, ValidatesCommSize) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_THROW(classify_orders(h, 3, Equivalence::SameSetsOnly), invalid_argument);
+  EXPECT_THROW(classify_orders(h, 0, Equivalence::SameSetsOnly), invalid_argument);
+}
+
+}  // namespace
+}  // namespace mr

@@ -1,0 +1,160 @@
+#include "mixradix/simnet/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mixradix/simnet/path.hpp"
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/util/expect.hpp"
+
+#include <set>
+
+namespace mr::simnet {
+namespace {
+
+TEST(FlowSim, SingleFlowDrainsAtCapacity) {
+  FlowSim sim({100.0});  // 100 B/s
+  sim.add_flow({0}, 500.0, 7);
+  const auto done = sim.advance_and_pop();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].time, 5.0);
+  EXPECT_EQ(done[0].user, 7);
+  EXPECT_EQ(sim.active_flows(), 0u);
+}
+
+TEST(FlowSim, TwoFlowsShareAChannelFairly) {
+  FlowSim sim({100.0});
+  const auto f1 = sim.add_flow({0}, 500.0, 1);
+  const auto f2 = sim.add_flow({0}, 500.0, 2);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f1), 50.0);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f2), 50.0);
+  const auto done = sim.advance_and_pop();
+  // Both complete simultaneously and batch into one event.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0].time, 10.0);
+}
+
+TEST(FlowSim, RatesRecomputeWhenAFlowFinishes) {
+  FlowSim sim({100.0});
+  sim.add_flow({0}, 100.0, 1);  // finishes first
+  sim.add_flow({0}, 300.0, 2);
+  auto done = sim.advance_and_pop();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].user, 1);
+  EXPECT_DOUBLE_EQ(done[0].time, 2.0);  // 100 B at 50 B/s
+  done = sim.advance_and_pop();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].user, 2);
+  // Flow 2 had 300-2*50 = 200 B left, now alone at 100 B/s: +2 s.
+  EXPECT_DOUBLE_EQ(done[0].time, 4.0);
+}
+
+TEST(FlowSim, MaxMinBottleneckSharing) {
+  // Channel 0: cap 100 shared by A and B; channel 1: cap 30, used by B only.
+  // Max-min: B is capped at 30 by channel 1; A gets the remaining 70.
+  FlowSim sim({100.0, 30.0});
+  const auto a = sim.add_flow({0}, 700.0, 1);
+  const auto b = sim.add_flow({0, 1}, 300.0, 2);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(a), 70.0);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(b), 30.0);
+}
+
+TEST(FlowSim, EmptyChannelListIsInfinitelyFast) {
+  FlowSim sim({100.0});
+  sim.add_flow({}, 1e12, 1);
+  const auto done = sim.advance_and_pop();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].time, 0.0);
+}
+
+TEST(FlowSim, ZeroByteFlowCompletesInstantly) {
+  FlowSim sim({100.0});
+  sim.add_flow({0}, 0.0, 1);
+  const auto done = sim.advance_and_pop();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].time, 0.0);
+}
+
+TEST(FlowSim, DuplicateChannelIdsCollapse) {
+  FlowSim sim({100.0});
+  const auto f = sim.add_flow({0, 0, 0}, 100.0, 1);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f), 100.0);
+}
+
+TEST(FlowSim, ValidatesInputs) {
+  EXPECT_THROW(FlowSim({0.0}), invalid_argument);
+  EXPECT_THROW(FlowSim({-1.0}), invalid_argument);
+  FlowSim sim({10.0});
+  EXPECT_THROW(sim.add_flow({1}, 10.0, 0), invalid_argument);
+  EXPECT_THROW(sim.add_flow({0}, -5.0, 0), invalid_argument);
+  EXPECT_THROW(sim.advance_to(-1.0), invalid_argument);
+}
+
+TEST(FlowSim, StaggeredArrival) {
+  FlowSim sim({100.0});
+  sim.add_flow({0}, 400.0, 1);
+  sim.advance_to(2.0);  // flow 1 has 200 B left
+  sim.add_flow({0}, 200.0, 2);
+  // Both now at 50 B/s with 200 B each: finish together at t = 6.
+  const auto done = sim.advance_and_pop();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0].time, 6.0);
+}
+
+// Topology paths: verify channel lists against the machine structure.
+TEST(Path, SelfMessageHasNoChannels) {
+  const auto m = topo::testbox();
+  EXPECT_TRUE(flow_channels(m, 3, 3).empty());
+}
+
+namespace {
+std::multiset<ChannelId> as_set(const std::vector<ChannelId>& v) {
+  return {v.begin(), v.end()};
+}
+}  // namespace
+
+TEST(Path, IntraSocketUsesCoreLinksAndLocalMemory) {
+  const auto m = topo::testbox();  // [2, 2, 4], mem on socket + core levels
+  const auto ch = as_set(flow_channels(m, 0, 1));  // same socket
+  EXPECT_TRUE(ch.contains(egress_channel(m, 2, 0)));
+  EXPECT_TRUE(ch.contains(ingress_channel(m, 2, 1)));
+  // Shared socket memory appears (twice pre-dedup: both endpoints).
+  EXPECT_EQ(ch.count(memory_channel(m, 1, 0)), 2u);
+  EXPECT_TRUE(ch.contains(memory_channel(m, 2, 0)));
+  EXPECT_TRUE(ch.contains(memory_channel(m, 2, 1)));
+  // No socket/node link crossings.
+  EXPECT_FALSE(ch.contains(egress_channel(m, 1, 0)));
+  EXPECT_FALSE(ch.contains(egress_channel(m, 0, 0)));
+}
+
+TEST(Path, CrossNodeClimbsAllLevels) {
+  const auto m = topo::testbox();
+  const auto ch = as_set(flow_channels(m, 0, 15));  // node 0 -> node 1 last core
+  EXPECT_TRUE(ch.contains(egress_channel(m, 0, 0)));    // node 0 egress
+  EXPECT_TRUE(ch.contains(ingress_channel(m, 0, 1)));   // node 1 ingress
+  EXPECT_TRUE(ch.contains(egress_channel(m, 1, 0)));    // socket 0 egress
+  EXPECT_TRUE(ch.contains(ingress_channel(m, 1, 3)));   // socket 3 ingress
+  EXPECT_TRUE(ch.contains(egress_channel(m, 2, 0)));
+  EXPECT_TRUE(ch.contains(ingress_channel(m, 2, 15)));
+  // Memory of both endpoints' sockets, now distinct components.
+  EXPECT_TRUE(ch.contains(memory_channel(m, 1, 0)));
+  EXPECT_TRUE(ch.contains(memory_channel(m, 1, 3)));
+}
+
+TEST(Path, MemoryChannelRequiresAModeledLevel) {
+  const auto m = topo::testbox();  // node level has mem_bandwidth 0
+  EXPECT_THROW(memory_channel(m, 0, 0), invalid_argument);
+}
+
+TEST(Path, CapacitiesMatchLevelBandwidths) {
+  const auto m = topo::testbox();
+  const auto caps = channel_capacities(m);
+  ASSERT_EQ(caps.size(), static_cast<std::size_t>(3 * m.total_components()));
+  EXPECT_DOUBLE_EQ(caps[static_cast<std::size_t>(egress_channel(m, 0, 0))], 1.0e9);
+  EXPECT_DOUBLE_EQ(caps[static_cast<std::size_t>(ingress_channel(m, 1, 2))], 2.0e9);
+  EXPECT_DOUBLE_EQ(caps[static_cast<std::size_t>(egress_channel(m, 2, 9))], 4.0e9);
+  EXPECT_DOUBLE_EQ(caps[static_cast<std::size_t>(memory_channel(m, 1, 1))], 8.0e9);
+  EXPECT_DOUBLE_EQ(caps[static_cast<std::size_t>(memory_channel(m, 2, 5))], 4.0e9);
+}
+
+}  // namespace
+}  // namespace mr::simnet

@@ -1,0 +1,152 @@
+// The §4.1 micro-benchmark protocol and its reporting.
+#include "mixradix/harness/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::harness {
+namespace {
+
+topo::Machine small_hydra() { return topo::hydra(2); }  // 64 procs
+
+MicrobenchConfig base_config() {
+  MicrobenchConfig c;
+  c.order = parse_order("0-1-2-3");
+  c.comm_size = 16;
+  c.collective = simmpi::Collective::Alltoall;
+  c.total_bytes = 1 << 20;
+  c.repetitions = 1;
+  return c;
+}
+
+TEST(Microbench, ProducesPositiveBandwidth) {
+  const auto result = run_microbench(small_hydra(), base_config());
+  EXPECT_GT(result.mean_bandwidth, 0);
+  EXPECT_GT(result.mean_seconds_per_op, 0);
+  EXPECT_NEAR(result.mean_bandwidth * result.mean_seconds_per_op,
+              static_cast<double>(base_config().total_bytes),
+              static_cast<double>(base_config().total_bytes) * 1e-6);
+  EXPECT_EQ(result.algorithm, "alltoall_pairwise");
+}
+
+TEST(Microbench, SingleCommIsNoSlowerThanAllComms) {
+  // Running every subcommunicator at once can only add contention.
+  auto config = base_config();
+  config.all_comms = false;
+  const double alone = run_microbench(small_hydra(), config).mean_seconds_per_op;
+  config.all_comms = true;
+  const double together = run_microbench(small_hydra(), config).mean_seconds_per_op;
+  EXPECT_LE(alone, together * (1 + 1e-9));
+}
+
+TEST(Microbench, DecilesBracketTheMean) {
+  auto config = base_config();
+  config.all_comms = true;
+  const auto result = run_microbench(small_hydra(), config);
+  EXPECT_LE(result.bw_p10, result.mean_bandwidth * (1 + 1e-9));
+  EXPECT_GE(result.bw_p90, result.mean_bandwidth * (1 - 1e-9));
+}
+
+TEST(Microbench, PackedOrderIsContentionImmune) {
+  // The paper's headline: packed mappings perform identically with 1 or
+  // all communicators.
+  auto config = base_config();
+  config.order = parse_order("3-2-1-0");
+  config.all_comms = false;
+  const double alone = run_microbench(small_hydra(), config).mean_seconds_per_op;
+  config.all_comms = true;
+  const double together = run_microbench(small_hydra(), config).mean_seconds_per_op;
+  EXPECT_NEAR(alone, together, alone * 0.05);
+}
+
+TEST(Microbench, ValidatesInputs) {
+  auto config = base_config();
+  config.comm_size = 24;  // does not divide 64
+  EXPECT_THROW(run_microbench(small_hydra(), config), invalid_argument);
+  config = base_config();
+  config.total_bytes = 0;
+  EXPECT_THROW(run_microbench(small_hydra(), config), invalid_argument);
+  config = base_config();
+  config.repetitions = 0;
+  EXPECT_THROW(run_microbench(small_hydra(), config), invalid_argument);
+  config = base_config();
+  config.comm_size = 1;
+  EXPECT_THROW(run_microbench(small_hydra(), config), invalid_argument);
+}
+
+TEST(PaperSizes, MatchesTheFiguresAxes) {
+  const auto sizes = paper_sizes();
+  ASSERT_EQ(sizes.size(), 6u);
+  EXPECT_EQ(sizes.front(), 16ll << 10);
+  EXPECT_EQ(sizes.back(), 512ll << 20);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[i - 1] * 8);
+  }
+  EXPECT_EQ(paper_sizes(1 << 20).size(), 3u);  // 16K, 128K, 1M
+}
+
+TEST(Sweep, SeriesCarryLegendsAndResults) {
+  SweepConfig config;
+  config.orders = {parse_order("0-1-2-3"), parse_order("3-2-1-0")};
+  config.sizes = {16 << 10, 128 << 10};
+  config.comm_size = 16;
+  config.collective = simmpi::Collective::Allgather;
+  config.repetitions = 1;
+  const auto series = run_sweep(small_hydra(), config);
+  ASSERT_EQ(series.size(), 2u);
+  for (const auto& s : series) {
+    EXPECT_EQ(s.sizes, config.sizes);
+    EXPECT_EQ(s.results.size(), 2u);
+    EXPECT_EQ(s.character.pair_pct.size(), 4u);
+  }
+  EXPECT_EQ(order_to_string(series[0].character.order), "0-1-2-3");
+}
+
+TEST(Report, PrintFigureContainsLegendAndRows) {
+  SweepConfig config;
+  config.orders = {parse_order("3-2-1-0")};
+  config.sizes = {16 << 10};
+  config.comm_size = 16;
+  config.repetitions = 1;
+  const auto single = run_sweep(small_hydra(), config);
+  config.all_comms = true;
+  const auto simultaneous = run_sweep(small_hydra(), config);
+  std::ostringstream os;
+  print_figure(os, "Test figure", single, simultaneous);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Test figure"), std::string::npos);
+  EXPECT_NE(text.find("3-2-1-0 ("), std::string::npos);
+  EXPECT_NE(text.find("16 KB"), std::string::npos);
+  EXPECT_NE(text.find("1 simultaneous comm."), std::string::npos);
+  EXPECT_NE(text.find("all simultaneous comms."), std::string::npos);
+}
+
+TEST(Report, CsvIsWellFormed) {
+  SweepConfig config;
+  config.orders = {parse_order("0-1-2-3")};
+  config.sizes = {16 << 10, 128 << 10};
+  config.comm_size = 16;
+  config.repetitions = 1;
+  const auto single = run_sweep(small_hydra(), config);
+  std::ostringstream os;
+  write_figure_csv(os, "figX", single, {});
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "figure,scenario,order,ring_cost,size_bytes,bandwidth_mbs,"
+            "bw_p10_mbs,bw_p90_mbs,seconds_per_op,algorithm");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+}  // namespace
+}  // namespace mr::harness

@@ -1,0 +1,144 @@
+#include "mixradix/mr/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr {
+namespace {
+
+TEST(Hierarchy, BasicProperties) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(h.depth(), 3);
+  EXPECT_EQ(h.total(), 16);
+  EXPECT_EQ(h[0], 2);
+  EXPECT_EQ(h[1], 2);
+  EXPECT_EQ(h[2], 4);
+  EXPECT_EQ(h.to_string(), "[2, 2, 4]");
+}
+
+TEST(Hierarchy, LeavesBelow) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(h.leaves_below(0), 16);  // whole machine
+  EXPECT_EQ(h.leaves_below(1), 8);   // cores per node
+  EXPECT_EQ(h.leaves_below(2), 4);   // cores per socket
+  EXPECT_EQ(h.leaves_below(3), 1);   // a core
+}
+
+TEST(Hierarchy, ComponentsAt) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(h.components_at(0), 2);   // nodes
+  EXPECT_EQ(h.components_at(1), 4);   // sockets
+  EXPECT_EQ(h.components_at(2), 16);  // cores
+}
+
+TEST(Hierarchy, ParseAcceptsSeveralSyntaxes) {
+  const Hierarchy expected{2, 2, 4};
+  EXPECT_EQ(Hierarchy::parse("2,2,4"), expected);
+  EXPECT_EQ(Hierarchy::parse("2:2:4"), expected);
+  EXPECT_EQ(Hierarchy::parse("2x2x4"), expected);
+  EXPECT_EQ(Hierarchy::parse("[2, 2, 4]"), expected);
+  EXPECT_EQ(Hierarchy::parse("  [2,2,4]  "), expected);
+}
+
+TEST(Hierarchy, ParseRejectsJunk) {
+  EXPECT_THROW(Hierarchy::parse(""), invalid_argument);
+  EXPECT_THROW(Hierarchy::parse("[2,2,4"), invalid_argument);
+  EXPECT_THROW(Hierarchy::parse("2,x,4"), invalid_argument);
+  EXPECT_THROW(Hierarchy::parse("2,1,4"), invalid_argument);  // radix 1
+  EXPECT_THROW(Hierarchy::parse("2,-3,4"), invalid_argument);
+}
+
+TEST(Hierarchy, RadixOneIsRejected) {
+  // Strictly-greater-than-1 bases are required for unique decomposition.
+  EXPECT_THROW(Hierarchy({2, 1, 4}), invalid_argument);
+  EXPECT_THROW(Hierarchy({0}), invalid_argument);
+  EXPECT_THROW(Hierarchy(std::vector<int>{}), invalid_argument);
+}
+
+TEST(Hierarchy, PermutedReordersRadices) {
+  const Hierarchy h{2, 3, 5};
+  EXPECT_EQ(h.permuted({2, 1, 0}), Hierarchy({5, 3, 2}));
+  EXPECT_EQ(h.permuted({1, 2, 0}), Hierarchy({3, 5, 2}));
+  EXPECT_EQ(h.permuted({0, 1, 2}), h);
+}
+
+TEST(Hierarchy, PermutedValidatesOrder) {
+  const Hierarchy h{2, 3, 5};
+  EXPECT_THROW(h.permuted({0, 0, 1}), invalid_argument);
+  EXPECT_THROW(h.permuted({0, 1}), invalid_argument);
+  EXPECT_THROW(h.permuted({0, 1, 3}), invalid_argument);
+}
+
+// Table 1's "Permuted hierarchy" column for [2, 2, 4].
+TEST(Hierarchy, Table1PermutedHierarchyColumn) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(h.permuted({0, 1, 2}), Hierarchy({2, 2, 4}));
+  EXPECT_EQ(h.permuted({0, 2, 1}), Hierarchy({2, 4, 2}));
+  EXPECT_EQ(h.permuted({1, 0, 2}), Hierarchy({2, 2, 4}));
+  EXPECT_EQ(h.permuted({1, 2, 0}), Hierarchy({2, 4, 2}));
+  EXPECT_EQ(h.permuted({2, 0, 1}), Hierarchy({4, 2, 2}));
+  EXPECT_EQ(h.permuted({2, 1, 0}), Hierarchy({4, 2, 2}));
+}
+
+TEST(Hierarchy, SplitLevelMakesFakeLevels) {
+  // The paper's Hydra description fakes each 16-core socket as 2 x 8.
+  const Hierarchy socket16{16, 2, 16};
+  const Hierarchy split = socket16.with_split_level(2, 2);
+  EXPECT_EQ(split, Hierarchy({16, 2, 2, 8}));
+  EXPECT_EQ(split.total(), socket16.total());
+}
+
+TEST(Hierarchy, SplitLevelValidatesDivisor) {
+  const Hierarchy h{2, 2, 16};
+  EXPECT_THROW(h.with_split_level(2, 3), invalid_argument);   // 3 does not divide 16
+  EXPECT_THROW(h.with_split_level(2, 1), invalid_argument);   // trivial outer
+  EXPECT_THROW(h.with_split_level(2, 16), invalid_argument);  // trivial inner
+  EXPECT_THROW(h.with_split_level(3, 2), invalid_argument);   // bad level
+}
+
+TEST(Hierarchy, PrefixLevelsModelTheNetwork) {
+  // §3.2's example: [2, 3, 16 | 2, 2, 8] — network switches outside nodes.
+  const Hierarchy node{2, 2, 8};
+  const Hierarchy full = node.with_prefix_levels({2, 3, 16});
+  EXPECT_EQ(full, Hierarchy({2, 3, 16, 2, 2, 8}));
+  EXPECT_EQ(full.total(), 2 * 3 * 16 * 2 * 2 * 8);
+}
+
+TEST(Hierarchy, SuffixDropsOuterLevels) {
+  const Hierarchy h{16, 2, 2, 8};
+  EXPECT_EQ(h.suffix(1), Hierarchy({2, 2, 8}));
+  EXPECT_EQ(h.suffix(3), Hierarchy({8}));
+  EXPECT_THROW(h.suffix(4), invalid_argument);
+}
+
+TEST(Hierarchy, ValidateForNprocs) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_FALSE(validate_for_nprocs(h, 16).has_value());
+  const auto err = validate_for_nprocs(h, 12);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("16"), std::string::npos);
+  EXPECT_NE(err->find("12"), std::string::npos);
+}
+
+TEST(Hierarchy, LevelNamesDefaultAndCustom) {
+  const Hierarchy anon{2, 4};
+  EXPECT_EQ(anon.level_name(0), "level0");
+  const Hierarchy named({2, 4}, {"node", "core"});
+  EXPECT_EQ(named.level_name(0), "node");
+  EXPECT_EQ(named.level_name(1), "core");
+  EXPECT_THROW(Hierarchy({2, 4}, {"only-one"}), invalid_argument);
+}
+
+TEST(Hierarchy, PaperMachineDescriptions) {
+  // Hydra: [nodes, 2, 2, 8]; LUMI: [nodes, 2, 4, 2, 8] (§4, machine descr.)
+  const Hierarchy hydra16{16, 2, 2, 8};
+  EXPECT_EQ(hydra16.total(), 512);
+  const Hierarchy lumi16{16, 2, 4, 2, 8};
+  EXPECT_EQ(lumi16.total(), 2048);
+  const Hierarchy hydra32{32, 2, 2, 8};
+  EXPECT_EQ(hydra32.total(), 1024);  // the Splatt experiment's world size
+}
+
+}  // namespace
+}  // namespace mr

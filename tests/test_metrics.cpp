@@ -1,0 +1,189 @@
+// Golden tests for the §3.3 metrics: every ring cost and pair-percentage
+// tuple printed in the paper's figure legends is a pure function of
+// (hierarchy, order, communicator size) and is reproduced here bit-exactly
+// (percentages compared after the paper's 1-decimal rounding).
+#include "mixradix/mr/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mixradix/util/expect.hpp"
+
+namespace mr {
+namespace {
+
+Hierarchy hydra16() { return Hierarchy({16, 2, 2, 8}); }   // 512 procs
+Hierarchy lumi16() { return Hierarchy({16, 2, 4, 2, 8}); } // 2048 procs
+
+TEST(HopCost, CountsCrossedLevels) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(hop_cost(h, {0, 0, 0}, {0, 0, 1}), 1);  // same socket
+  EXPECT_EQ(hop_cost(h, {0, 0, 0}, {0, 1, 0}), 2);  // cross socket
+  EXPECT_EQ(hop_cost(h, {0, 0, 0}, {1, 0, 0}), 3);  // cross node
+  EXPECT_EQ(hop_cost(h, {1, 0, 2}, {1, 0, 2}), 0);  // same core
+}
+
+TEST(InnermostCommonLevel, MatchesHopCost) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(innermost_common_level(h, {0, 0, 0}, {0, 0, 3}), 2);
+  EXPECT_EQ(innermost_common_level(h, {0, 0, 0}, {0, 1, 3}), 1);
+  EXPECT_EQ(innermost_common_level(h, {0, 0, 0}, {1, 0, 0}), 0);
+  EXPECT_THROW(innermost_common_level(h, {0, 0, 0}, {0, 0, 0}), invalid_argument);
+}
+
+// §3.3: on [2,2,4] with communicators of 4, order [0,1,2] has ring cost 9
+// and order [1,0,2] has ring cost 7 with pair percentages [0, 33.3, 66.7];
+// order [2,1,0] has percentages [100, 0, 0].
+TEST(Metrics, Section33Examples) {
+  const Hierarchy h{2, 2, 4};
+  const auto c012 = characterize_order(h, {0, 1, 2}, 4);
+  EXPECT_EQ(c012.ring_cost, 9);
+
+  const auto c102 = characterize_order(h, {1, 0, 2}, 4);
+  EXPECT_EQ(c102.ring_cost, 7);
+  ASSERT_EQ(c102.pair_pct.size(), 3u);
+  EXPECT_NEAR(c102.pair_pct[0], 0.0, 1e-9);
+  EXPECT_NEAR(c102.pair_pct[1], 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(c102.pair_pct[2], 200.0 / 3.0, 1e-9);
+
+  const auto c210 = characterize_order(h, {2, 1, 0}, 4);
+  EXPECT_NEAR(c210.pair_pct[0], 100.0, 1e-9);
+  EXPECT_NEAR(c210.pair_pct[1], 0.0, 1e-9);
+  EXPECT_NEAR(c210.pair_pct[2], 0.0, 1e-9);
+}
+
+// Orders [0,1,2] and [1,0,2] place the first communicator on the same set
+// of cores (same percentages), but number ranks differently (different
+// ring costs) — the paper's motivating observation for having two metrics.
+TEST(Metrics, MetricsAreIndependent) {
+  const Hierarchy h{2, 2, 4};
+  const auto a = characterize_order(h, {0, 1, 2}, 4);
+  const auto b = characterize_order(h, {1, 0, 2}, 4);
+  EXPECT_EQ(a.pair_pct, b.pair_pct);
+  EXPECT_NE(a.ring_cost, b.ring_cost);
+}
+
+struct LegendCase {
+  const char* figure;
+  Hierarchy hierarchy;
+  std::int64_t comm_size;
+  const char* legend;  // exact paper text: "order (ring - pcts)"
+};
+
+class FigureLegends : public ::testing::TestWithParam<LegendCase> {};
+
+TEST_P(FigureLegends, MatchesPaper) {
+  const auto& p = GetParam();
+  const std::string text = p.legend;
+  const Order order = parse_order(text.substr(0, text.find(' ')));
+  const auto character = characterize_order(p.hierarchy, order, p.comm_size);
+  EXPECT_EQ(character.to_string(), text) << "figure " << p.figure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig3AlltoallHydraComm16, FigureLegends,
+    ::testing::Values(
+        LegendCase{"3", hydra16(), 16, "0-1-2-3 (60 - 0.0, 0.0, 0.0, 100.0)"},
+        LegendCase{"3", hydra16(), 16, "2-1-0-3 (40 - 0.0, 6.7, 13.3, 80.0)"},
+        LegendCase{"3", hydra16(), 16, "1-3-0-2 (45 - 46.7, 0.0, 53.3, 0.0)"},
+        LegendCase{"3", hydra16(), 16, "1-3-2-0 (45 - 46.7, 0.0, 53.3, 0.0)"},
+        LegendCase{"3", hydra16(), 16, "3-1-0-2 (17 - 46.7, 0.0, 53.3, 0.0)"},
+        LegendCase{"3", hydra16(), 16, "3-2-1-0 (16 - 46.7, 53.3, 0.0, 0.0)"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4AlltoallHydraComm128, FigureLegends,
+    ::testing::Values(
+        LegendCase{"4", hydra16(), 128, "0-1-2-3 (508 - 0.8, 1.6, 3.1, 94.5)"},
+        LegendCase{"4", hydra16(), 128, "2-1-0-3 (348 - 0.8, 1.6, 3.1, 94.5)"},
+        LegendCase{"4", hydra16(), 128, "1-3-0-2 (388 - 5.5, 0.0, 6.3, 88.2)"},
+        LegendCase{"4", hydra16(), 128, "3-1-0-2 (164 - 5.5, 0.0, 6.3, 88.2)"},
+        LegendCase{"4", hydra16(), 128, "1-3-2-0 (384 - 5.5, 6.3, 12.6, 75.6)"},
+        LegendCase{"4", hydra16(), 128, "3-2-1-0 (152 - 5.5, 6.3, 12.6, 75.6)"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig5AlltoallLumiComm16, FigureLegends,
+    ::testing::Values(
+        LegendCase{"5", lumi16(), 16, "0-1-2-3-4 (75 - 0.0, 0.0, 0.0, 0.0, 100.0)"},
+        LegendCase{"5", lumi16(), 16, "1-2-3-0-4 (60 - 0.0, 6.7, 40.0, 53.3, 0.0)"},
+        LegendCase{"5", lumi16(), 16, "3-2-1-4-0 (38 - 0.0, 6.7, 40.0, 53.3, 0.0)"},
+        LegendCase{"5", lumi16(), 16, "3-4-0-1-2 (30 - 46.7, 53.3, 0.0, 0.0, 0.0)"},
+        LegendCase{"5", lumi16(), 16, "4-3-2-1-0 (16 - 46.7, 53.3, 0.0, 0.0, 0.0)"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6AllreduceHydraComm64, FigureLegends,
+    ::testing::Values(
+        LegendCase{"6", hydra16(), 64, "0-1-2-3 (252 - 0.0, 1.6, 3.2, 95.2)"},
+        LegendCase{"6", hydra16(), 64, "2-1-0-3 (172 - 0.0, 1.6, 3.2, 95.2)"},
+        LegendCase{"6", hydra16(), 64, "1-3-0-2 (192 - 11.1, 0.0, 12.7, 76.2)"},
+        LegendCase{"6", hydra16(), 64, "3-1-0-2 (80 - 11.1, 0.0, 12.7, 76.2)"},
+        LegendCase{"6", hydra16(), 64, "1-3-2-0 (190 - 11.1, 12.7, 25.4, 50.8)"},
+        LegendCase{"6", hydra16(), 64, "3-2-1-0 (74 - 11.1, 12.7, 25.4, 50.8)"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig7AllgatherLumiComm256, FigureLegends,
+    ::testing::Values(
+        LegendCase{"7", lumi16(), 256, "0-1-2-3-4 (1275 - 0.0, 0.4, 2.4, 3.1, 94.1)"},
+        LegendCase{"7", lumi16(), 256, "1-2-3-0-4 (1035 - 0.0, 0.4, 2.4, 3.1, 94.1)"},
+        LegendCase{"7", lumi16(), 256, "3-4-0-1-2 (555 - 2.7, 3.1, 0.0, 0.0, 94.1)"},
+        LegendCase{"7", lumi16(), 256, "3-2-1-4-0 (669 - 2.7, 3.1, 18.8, 25.1, 50.2)"},
+        LegendCase{"7", lumi16(), 256, "4-3-2-1-0 (305 - 2.7, 3.1, 18.8, 25.1, 50.2)"}));
+
+TEST(PairPercentages, SumToOneHundred) {
+  const Hierarchy h = hydra16();
+  for (std::int64_t comm_size : {2, 4, 16, 64, 128, 512}) {
+    for (const Order& order :
+         {Order{0, 1, 2, 3}, Order{3, 2, 1, 0}, Order{1, 3, 0, 2}}) {
+      const auto pct = characterize_order(h, order, comm_size).pair_pct;
+      const double sum = std::accumulate(pct.begin(), pct.end(), 0.0);
+      EXPECT_NEAR(sum, 100.0, 1e-9);
+    }
+  }
+}
+
+TEST(RingCost, BoundsHold) {
+  // Ring cost of p members lies in [(p-1)*1, (p-1)*depth].
+  const Hierarchy h = hydra16();
+  for (std::int64_t comm_size : {4, 16, 64}) {
+    for (const Order& order :
+         {Order{0, 1, 2, 3}, Order{3, 2, 1, 0}, Order{2, 0, 3, 1}}) {
+      const auto c = characterize_order(h, order, comm_size);
+      EXPECT_GE(c.ring_cost, comm_size - 1);
+      EXPECT_LE(c.ring_cost, (comm_size - 1) * h.depth());
+    }
+  }
+}
+
+TEST(SubcommunicatorCoords, ValidatesInputs) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_THROW(subcommunicator_coords(h, {0, 1, 2}, 0, 3), invalid_argument);
+  EXPECT_THROW(subcommunicator_coords(h, {0, 1, 2}, 4, 4), invalid_argument);
+  EXPECT_THROW(subcommunicator_coords(h, {0, 1, 2}, -1, 4), invalid_argument);
+}
+
+TEST(SubcommunicatorCoords, EveryCommunicatorIsDisjoint) {
+  const Hierarchy h{2, 2, 4};
+  for (const Order& order : {Order{0, 1, 2}, Order{2, 0, 1}}) {
+    std::vector<Coords> all;
+    for (std::int64_t c = 0; c < 4; ++c) {
+      const auto members = subcommunicator_coords(h, order, c, 4);
+      all.insert(all.end(), members.begin(), members.end());
+    }
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        EXPECT_NE(all[i], all[j]);
+      }
+    }
+  }
+}
+
+TEST(Spreadness, PackedIsZeroSpreadIsOne) {
+  const Hierarchy h = hydra16();
+  const auto packed = subcommunicator_coords(h, {3, 2, 1, 0}, 0, 8);
+  EXPECT_NEAR(spreadness(h, packed), 0.0, 1e-9);
+  const auto spread = subcommunicator_coords(h, {0, 1, 2, 3}, 0, 16);
+  EXPECT_NEAR(spreadness(h, spread), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mr

@@ -1,0 +1,83 @@
+// ReorderPlan: the MPI deployment artifacts of §3.2.
+#include "mixradix/mr/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace mr {
+namespace {
+
+TEST(ReorderPlan, ForwardAndPlacementAreInverse) {
+  const ReorderPlan plan(Hierarchy{2, 2, 4}, parse_order("0-2-1"));
+  for (std::int64_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(plan.placement(plan.new_rank(r)), r);
+  }
+}
+
+TEST(ReorderPlan, SplitArgumentsRealiseTheReordering) {
+  // MPI_Comm_split(color=0, key=new_rank): ranks in the new communicator
+  // are assigned by ascending key, so process with old rank r gets exactly
+  // new_rank(r). Emulate the split and check.
+  const Hierarchy h{2, 2, 4};
+  const ReorderPlan plan(h, parse_order("1-2-0"));
+  std::vector<std::pair<std::int64_t, std::int64_t>> key_rank;
+  for (std::int64_t r = 0; r < h.total(); ++r) {
+    EXPECT_EQ(plan.split_color(), 0);
+    key_rank.emplace_back(plan.split_key(r), r);
+  }
+  std::sort(key_rank.begin(), key_rank.end());
+  for (std::int64_t new_rank = 0; new_rank < h.total(); ++new_rank) {
+    const auto [key, old_rank] = key_rank[static_cast<std::size_t>(new_rank)];
+    EXPECT_EQ(plan.new_rank(old_rank), new_rank);
+  }
+}
+
+TEST(ReorderPlan, SubcommColorAndRank) {
+  const Hierarchy h{2, 2, 4};
+  const ReorderPlan plan(h, parse_order("2-1-0"));  // identity reordering
+  // Blocks of 4: old rank 5 -> new rank 5 -> comm 1, comm-rank 1.
+  EXPECT_EQ(plan.subcomm_color(5, 4), 1);
+  EXPECT_EQ(plan.subcomm_rank(5, 4), 1);
+  EXPECT_THROW(plan.subcomm_color(5, 3), invalid_argument);
+}
+
+TEST(ReorderPlan, RankfileFormat) {
+  const Hierarchy h{2, 2, 2};
+  const ReorderPlan plan(h, parse_order("0-1-2"));
+  const std::string rankfile = plan.rankfile();
+  std::istringstream in(rankfile);
+  std::string line;
+  int lines = 0;
+  std::set<std::pair<int, int>> placements;
+  while (std::getline(in, line)) {
+    int rank = 0, node = 0, slot = 0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "rank %d=+n%d slot=%d", &rank, &node, &slot), 3)
+        << line;
+    EXPECT_EQ(rank, lines);
+    EXPECT_TRUE(placements.insert({node, slot}).second) << "duplicate core";
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 2);
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 4);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 8);
+  // Spot-check: new rank 1 under [0,1,2] lives on node 1, slot 0.
+  EXPECT_NE(rankfile.find("rank 1=+n1 slot=0"), std::string::npos);
+}
+
+TEST(ReorderPlan, ValidatesInputs) {
+  EXPECT_THROW(ReorderPlan(Hierarchy{2, 2}, parse_order("0-1-2")), invalid_argument);
+  const ReorderPlan plan(Hierarchy{2, 2}, parse_order("1-0"));
+  EXPECT_THROW(plan.new_rank(-1), invalid_argument);
+  EXPECT_THROW(plan.new_rank(4), invalid_argument);
+  EXPECT_THROW(plan.placement(4), invalid_argument);
+}
+
+}  // namespace
+}  // namespace mr

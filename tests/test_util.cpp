@@ -1,0 +1,113 @@
+// Utility layer: strings, CSV, PRNG determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mixradix/util/csv.hpp"
+#include "mixradix/util/expect.hpp"
+#include "mixradix/util/prng.hpp"
+#include "mixradix/util/strings.hpp"
+
+namespace mr::util {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::string text = "x:y:z";
+  EXPECT_EQ(join(split(text, ':'), ":"), text);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join_ints({3, 1, 2}, "-"), "3-1-2");
+  EXPECT_EQ(join_ints({}, "-"), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" 42 "), 42);
+  EXPECT_EQ(parse_int("-3"), -3);
+  EXPECT_THROW(parse_int("4x"), invalid_argument);
+  EXPECT_THROW(parse_int(""), invalid_argument);
+  EXPECT_THROW(parse_int("4 2"), invalid_argument);
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(16 << 10), "16 KB");
+  EXPECT_EQ(format_bytes(512ll << 20), "512 MB");
+  EXPECT_EQ(format_bytes((1ll << 30) + (1ll << 29)), "1.5 GB");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(46.666, 1), "46.7");
+  EXPECT_EQ(format_fixed(0.0, 1), "0.0");
+  EXPECT_EQ(format_fixed(100.0, 1), "100.0");
+  EXPECT_EQ(format_fixed(3.14159, 3), "3.142");
+}
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEnforcesArity) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.row({"1", "2"});
+  csv.row_of("x,y", 3);
+  EXPECT_THROW(csv.row({"only-one"}), invalid_argument);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n\"x,y\",3\n");
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Xoshiro256 c(124);
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Prng, NextBelowIsInRangeAndCoversIt) {
+  Xoshiro256 rng(7);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 800);  // roughly uniform
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace mr::util
