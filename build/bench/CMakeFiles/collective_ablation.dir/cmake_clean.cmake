@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_ablation.dir/collective_ablation.cpp.o"
+  "CMakeFiles/collective_ablation.dir/collective_ablation.cpp.o.d"
+  "collective_ablation"
+  "collective_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_micro.dir/core_micro.cpp.o"
+  "CMakeFiles/core_micro.dir/core_micro.cpp.o.d"
+  "core_micro"
+  "core_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_orders.dir/ext_mixed_orders.cpp.o"
+  "CMakeFiles/ext_mixed_orders.dir/ext_mixed_orders.cpp.o.d"
+  "ext_mixed_orders"
+  "ext_mixed_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

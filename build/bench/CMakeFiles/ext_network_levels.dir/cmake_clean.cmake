@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_network_levels.dir/ext_network_levels.cpp.o"
+  "CMakeFiles/ext_network_levels.dir/ext_network_levels.cpp.o.d"
+  "ext_network_levels"
+  "ext_network_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

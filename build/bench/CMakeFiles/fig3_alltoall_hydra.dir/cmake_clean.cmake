@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_alltoall_hydra.dir/fig3_alltoall_hydra.cpp.o"
+  "CMakeFiles/fig3_alltoall_hydra.dir/fig3_alltoall_hydra.cpp.o.d"
+  "fig3_alltoall_hydra"
+  "fig3_alltoall_hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_alltoall_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_alltoall_hydra128.dir/fig4_alltoall_hydra128.cpp.o"
+  "CMakeFiles/fig4_alltoall_hydra128.dir/fig4_alltoall_hydra128.cpp.o.d"
+  "fig4_alltoall_hydra128"
+  "fig4_alltoall_hydra128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_alltoall_hydra128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_alltoall_lumi.dir/fig5_alltoall_lumi.cpp.o"
+  "CMakeFiles/fig5_alltoall_lumi.dir/fig5_alltoall_lumi.cpp.o.d"
+  "fig5_alltoall_lumi"
+  "fig5_alltoall_lumi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_alltoall_lumi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_allreduce_hydra.dir/fig6_allreduce_hydra.cpp.o"
+  "CMakeFiles/fig6_allreduce_hydra.dir/fig6_allreduce_hydra.cpp.o.d"
+  "fig6_allreduce_hydra"
+  "fig6_allreduce_hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_allreduce_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_allgather_lumi.dir/fig7_allgather_lumi.cpp.o"
+  "CMakeFiles/fig7_allgather_lumi.dir/fig7_allgather_lumi.cpp.o.d"
+  "fig7_allgather_lumi"
+  "fig7_allgather_lumi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_allgather_lumi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_splatt.dir/fig8_splatt.cpp.o"
+  "CMakeFiles/fig8_splatt.dir/fig8_splatt.cpp.o.d"
+  "fig8_splatt"
+  "fig8_splatt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_splatt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

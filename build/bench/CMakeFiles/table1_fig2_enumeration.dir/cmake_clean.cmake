@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fig2_enumeration.dir/table1_fig2_enumeration.cpp.o"
+  "CMakeFiles/table1_fig2_enumeration.dir/table1_fig2_enumeration.cpp.o.d"
+  "table1_fig2_enumeration"
+  "table1_fig2_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fig2_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

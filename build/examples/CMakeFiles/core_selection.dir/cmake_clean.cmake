@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selection.dir/core_selection.cpp.o"
+  "CMakeFiles/core_selection.dir/core_selection.cpp.o.d"
+  "core_selection"
+  "core_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

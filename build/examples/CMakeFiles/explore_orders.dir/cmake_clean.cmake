@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_orders.dir/explore_orders.cpp.o"
+  "CMakeFiles/explore_orders.dir/explore_orders.cpp.o.d"
+  "explore_orders"
+  "explore_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

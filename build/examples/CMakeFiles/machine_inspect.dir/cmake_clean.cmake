@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_inspect.dir/machine_inspect.cpp.o"
+  "CMakeFiles/machine_inspect.dir/machine_inspect.cpp.o.d"
+  "machine_inspect"
+  "machine_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

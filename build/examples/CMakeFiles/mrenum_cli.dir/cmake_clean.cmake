@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrenum_cli.dir/mrenum_cli.cpp.o"
+  "CMakeFiles/mrenum_cli.dir/mrenum_cli.cpp.o.d"
+  "mrenum_cli"
+  "mrenum_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrenum_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_reordering.dir/rank_reordering.cpp.o"
+  "CMakeFiles/rank_reordering.dir/rank_reordering.cpp.o.d"
+  "rank_reordering"
+  "rank_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rank_reordering "/root/repo/build/examples/rank_reordering" "8" "256")
+set_tests_properties(example_rank_reordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_core_selection "/root/repo/build/examples/core_selection" "4" "S")
+set_tests_properties(example_core_selection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explore_orders "/root/repo/build/examples/explore_orders" "2:2:4" "4")
+set_tests_properties(example_explore_orders PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_machine_inspect "/root/repo/build/examples/machine_inspect")
+set_tests_properties(example_machine_inspect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mrenum_rank "/root/repo/build/examples/mrenum_cli" "rank" "--hierarchy" "2:2:4" "--order" "0-2-1" "--rank" "10")
+set_tests_properties(example_mrenum_rank PROPERTIES  PASS_REGULAR_EXPRESSION "^5" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

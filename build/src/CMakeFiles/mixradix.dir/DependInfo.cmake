@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg/cg_sim.cpp" "src/CMakeFiles/mixradix.dir/apps/cg/cg_sim.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/apps/cg/cg_sim.cpp.o.d"
+  "/root/repo/src/apps/cg/geometry.cpp" "src/CMakeFiles/mixradix.dir/apps/cg/geometry.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/apps/cg/geometry.cpp.o.d"
+  "/root/repo/src/apps/cg/roofline.cpp" "src/CMakeFiles/mixradix.dir/apps/cg/roofline.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/apps/cg/roofline.cpp.o.d"
+  "/root/repo/src/apps/splatt/cpd.cpp" "src/CMakeFiles/mixradix.dir/apps/splatt/cpd.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/apps/splatt/cpd.cpp.o.d"
+  "/root/repo/src/apps/splatt/decomposition.cpp" "src/CMakeFiles/mixradix.dir/apps/splatt/decomposition.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/apps/splatt/decomposition.cpp.o.d"
+  "/root/repo/src/apps/splatt/tensor.cpp" "src/CMakeFiles/mixradix.dir/apps/splatt/tensor.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/apps/splatt/tensor.cpp.o.d"
+  "/root/repo/src/baseline/comm_matrix_mapper.cpp" "src/CMakeFiles/mixradix.dir/baseline/comm_matrix_mapper.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/baseline/comm_matrix_mapper.cpp.o.d"
+  "/root/repo/src/harness/protocol.cpp" "src/CMakeFiles/mixradix.dir/harness/protocol.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/harness/protocol.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/mixradix.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "src/CMakeFiles/mixradix.dir/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/harness/sweep.cpp.o.d"
+  "/root/repo/src/mr/core_select.cpp" "src/CMakeFiles/mixradix.dir/mr/core_select.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/core_select.cpp.o.d"
+  "/root/repo/src/mr/decompose.cpp" "src/CMakeFiles/mixradix.dir/mr/decompose.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/decompose.cpp.o.d"
+  "/root/repo/src/mr/equivalence.cpp" "src/CMakeFiles/mixradix.dir/mr/equivalence.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/equivalence.cpp.o.d"
+  "/root/repo/src/mr/hierarchy.cpp" "src/CMakeFiles/mixradix.dir/mr/hierarchy.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/hierarchy.cpp.o.d"
+  "/root/repo/src/mr/metrics.cpp" "src/CMakeFiles/mixradix.dir/mr/metrics.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/metrics.cpp.o.d"
+  "/root/repo/src/mr/permutation.cpp" "src/CMakeFiles/mixradix.dir/mr/permutation.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/permutation.cpp.o.d"
+  "/root/repo/src/mr/reorder.cpp" "src/CMakeFiles/mixradix.dir/mr/reorder.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/mr/reorder.cpp.o.d"
+  "/root/repo/src/simmpi/coll_allgather.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_allgather.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_allgather.cpp.o.d"
+  "/root/repo/src/simmpi/coll_allreduce.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_allreduce.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_allreduce.cpp.o.d"
+  "/root/repo/src/simmpi/coll_alltoall.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_alltoall.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_alltoall.cpp.o.d"
+  "/root/repo/src/simmpi/coll_alltoallv.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_alltoallv.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_alltoallv.cpp.o.d"
+  "/root/repo/src/simmpi/coll_bcast.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_bcast.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_bcast.cpp.o.d"
+  "/root/repo/src/simmpi/coll_gather.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_gather.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_gather.cpp.o.d"
+  "/root/repo/src/simmpi/coll_reduce.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_reduce.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_reduce.cpp.o.d"
+  "/root/repo/src/simmpi/coll_reduce_scatter.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_reduce_scatter.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_reduce_scatter.cpp.o.d"
+  "/root/repo/src/simmpi/coll_scan.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_scan.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_scan.cpp.o.d"
+  "/root/repo/src/simmpi/coll_scatter_gather_tree.cpp" "src/CMakeFiles/mixradix.dir/simmpi/coll_scatter_gather_tree.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/coll_scatter_gather_tree.cpp.o.d"
+  "/root/repo/src/simmpi/data_executor.cpp" "src/CMakeFiles/mixradix.dir/simmpi/data_executor.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/data_executor.cpp.o.d"
+  "/root/repo/src/simmpi/schedule.cpp" "src/CMakeFiles/mixradix.dir/simmpi/schedule.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/schedule.cpp.o.d"
+  "/root/repo/src/simmpi/selector.cpp" "src/CMakeFiles/mixradix.dir/simmpi/selector.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/selector.cpp.o.d"
+  "/root/repo/src/simmpi/timed_executor.cpp" "src/CMakeFiles/mixradix.dir/simmpi/timed_executor.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/timed_executor.cpp.o.d"
+  "/root/repo/src/simmpi/world.cpp" "src/CMakeFiles/mixradix.dir/simmpi/world.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simmpi/world.cpp.o.d"
+  "/root/repo/src/simnet/flow_sim.cpp" "src/CMakeFiles/mixradix.dir/simnet/flow_sim.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simnet/flow_sim.cpp.o.d"
+  "/root/repo/src/simnet/path.cpp" "src/CMakeFiles/mixradix.dir/simnet/path.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/simnet/path.cpp.o.d"
+  "/root/repo/src/slurm/distribution_parser.cpp" "src/CMakeFiles/mixradix.dir/slurm/distribution_parser.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/slurm/distribution_parser.cpp.o.d"
+  "/root/repo/src/slurm/launcher.cpp" "src/CMakeFiles/mixradix.dir/slurm/launcher.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/slurm/launcher.cpp.o.d"
+  "/root/repo/src/topo/discover.cpp" "src/CMakeFiles/mixradix.dir/topo/discover.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/topo/discover.cpp.o.d"
+  "/root/repo/src/topo/machine.cpp" "src/CMakeFiles/mixradix.dir/topo/machine.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/topo/machine.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "src/CMakeFiles/mixradix.dir/topo/presets.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/topo/presets.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/mixradix.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/mixradix.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/mixradix.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/mixradix.dir/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

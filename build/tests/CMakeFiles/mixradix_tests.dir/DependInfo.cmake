@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_cg.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_cg.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_cg.cpp.o.d"
+  "/root/repo/tests/test_collectives_data.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_collectives_data.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_collectives_data.cpp.o.d"
+  "/root/repo/tests/test_core_select.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_core_select.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_core_select.cpp.o.d"
+  "/root/repo/tests/test_decompose.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_decompose.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_decompose.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_flow_sim.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_flow_sim.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_flow_sim.cpp.o.d"
+  "/root/repo/tests/test_flow_sim_properties.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_flow_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_flow_sim_properties.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_permutation.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_permutation.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_permutation.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_slurm.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_slurm.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_slurm.cpp.o.d"
+  "/root/repo/tests/test_splatt.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_splatt.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_splatt.cpp.o.d"
+  "/root/repo/tests/test_timed_executor.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_timed_executor.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_timed_executor.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/mixradix_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/mixradix_tests.dir/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mixradix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
