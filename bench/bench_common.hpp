@@ -1,41 +1,90 @@
-// Shared plumbing for the figure-reproduction benches: CLI size caps and
-// CSV sidecar output next to the textual tables.
+// Shared plumbing for the figure-reproduction benches: CLI size caps,
+// thread-count pinning, and CSV sidecar output next to the textual tables.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "mixradix/harness/microbench.hpp"
+#include "mixradix/util/thread_pool.hpp"
 
 namespace bench {
 
-/// Parse "--max-size=<bytes>" / "--reps=<n>" / "--csv=<path>" flags; the
-/// defaults reproduce the paper's axes but can be shrunk for smoke runs.
+/// Parse "--max-size=<bytes>" / "--reps=<n>" / "--threads=<n>" /
+/// "--csv=<path>" flags; the defaults reproduce the paper's axes but can
+/// be shrunk for smoke runs. Threads defaults to 0 = auto (the
+/// MIXRADIX_THREADS environment variable when set, else
+/// hardware_concurrency); "--threads=1" forces the serial path. Output is
+/// identical for every thread count.
 struct Options {
   std::int64_t max_size = 512ll << 20;
   int repetitions = 2;
+  int threads = 0;  ///< 0 = auto; passed through to SweepConfig::threads.
   std::string csv_path;
 
-  static Options parse(int argc, char** argv) {
+  /// Number of workers after resolving 0 = auto.
+  int resolved_threads() const {
+    return threads > 0
+               ? threads
+               : static_cast<int>(mr::util::ThreadPool::default_threads());
+  }
+
+  /// Testable core: throws std::invalid_argument on unknown flags and on
+  /// malformed or out-of-range values.
+  static Options parse_args(const std::vector<std::string>& args) {
     Options o;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
+    for (const std::string& arg : args) {
       if (arg.rfind("--max-size=", 0) == 0) {
-        o.max_size = std::stoll(arg.substr(11));
+        o.max_size = parse_int(arg, arg.substr(11), 1);
       } else if (arg.rfind("--reps=", 0) == 0) {
-        o.repetitions = std::stoi(arg.substr(7));
+        o.repetitions = static_cast<int>(parse_int(arg, arg.substr(7), 1));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        o.threads = static_cast<int>(parse_int(arg, arg.substr(10), 1));
       } else if (arg.rfind("--csv=", 0) == 0) {
         o.csv_path = arg.substr(6);
       } else {
-        std::cerr << "unknown flag: " << arg
-                  << " (known: --max-size=B --reps=N --csv=PATH)\n";
-        std::exit(2);
+        throw std::invalid_argument(
+            "unknown flag: " + arg +
+            " (known: --max-size=B --reps=N --threads=N --csv=PATH)");
       }
     }
     return o;
+  }
+
+  /// CLI entry point: parse_args with exit(2)-on-error reporting.
+  static Options parse(int argc, char** argv) {
+    try {
+      return parse_args({argv + 1, argv + argc});
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+
+ private:
+  /// Strict integer parse: the whole value must be digits (optional sign)
+  /// and at least `min`.
+  static std::int64_t parse_int(const std::string& flag,
+                                const std::string& value, std::int64_t min) {
+    std::size_t consumed = 0;
+    std::int64_t parsed = 0;
+    try {
+      parsed = std::stoll(value, &consumed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed integer in " + flag);
+    }
+    if (consumed != value.size()) {
+      throw std::invalid_argument("malformed integer in " + flag);
+    }
+    if (parsed < min) {
+      throw std::invalid_argument("value out of range in " + flag +
+                                  " (minimum " + std::to_string(min) + ")");
+    }
+    return parsed;
   }
 };
 

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   config.comm_size = 16;
   config.collective = mr::simmpi::Collective::Alltoall;
   config.repetitions = opts.repetitions;
+  config.threads = opts.threads;
 
   config.all_comms = false;
   const auto single = run_sweep(machine, config);

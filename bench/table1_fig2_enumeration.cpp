@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "mixradix/mr/decompose.hpp"
+#include "mixradix/mr/equivalence.hpp"
 #include "mixradix/mr/metrics.hpp"
 #include "mixradix/slurm/distribution.hpp"
 #include "mixradix/util/strings.hpp"
@@ -61,12 +62,21 @@ int main() {
   print_layout(h, reorder_all_ranks(h, {2, 1, 0}), 4);
 
   std::cout << "\n== Fig. 2 — all orders, subcommunicators of 4 (cN = comm id) ==\n";
-  for (const Order& order : all_orders_lexicographic(h.depth())) {
-    const auto character = characterize_order(h, order, 4);
-    const auto dist = slurm::equivalent_distribution(h, order);
-    std::cout << "order " << character.to_string() << "  --distribution="
+  // Characterize all h! orders in one batch chunked across the shared
+  // thread pool (output below stays in lexicographic order regardless).
+  const auto orders = all_orders_lexicographic(h.depth());
+  const auto characters = characterize_orders(h, orders, 4);
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    const auto dist = slurm::equivalent_distribution(h, orders[i]);
+    std::cout << "order " << characters[i].to_string() << "  --distribution="
               << (dist ? dist->to_string() : "(not possible)") << "\n";
-    print_layout(h, reorder_all_ranks(h, order), 4);
+    print_layout(h, reorder_all_ranks(h, orders[i]), 4);
+  }
+
+  std::cout << "\n== §3.3 — order equivalence classes (SameSetsOnly) ==\n";
+  for (const auto& cls : classify_orders(h, 4, Equivalence::SameSetsOnly)) {
+    std::cout << "  class of " << cls.representative.to_string() << ": "
+              << cls.members.size() << " order(s)\n";
   }
   return 0;
 }

@@ -57,6 +57,12 @@ struct SweepConfig {
   simmpi::Collective collective = simmpi::Collective::Alltoall;
   bool all_comms = false;
   int repetitions = 2;
+  /// Worker threads fanning the (order, size) points out. 0 = use
+  /// util::ThreadPool::default_threads() (MIXRADIX_THREADS env override,
+  /// else hardware_concurrency); 1 = force the serial in-thread path.
+  /// Results are merged in input order, so the output is bit-identical
+  /// for every thread count.
+  int threads = 0;
 };
 
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,

@@ -40,11 +40,15 @@ struct OrderClass {
 
 /// Partition all h.depth()! orders into equivalence classes at the given
 /// granularity. Classes are sorted by their representative order.
+/// Signature computation is chunked across the shared thread pool;
+/// `threads`: 0 = util::ThreadPool::default_threads(), 1 = serial
+/// in-thread, N = at most N concurrent workers. The classification is
+/// identical for every thread count.
 std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
-                                        Equivalence granularity);
+                                        Equivalence granularity, int threads = 0);
 
 /// Representatives only — the reduced set of orders worth benchmarking.
 std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
-                                   Equivalence granularity);
+                                   Equivalence granularity, int threads = 0);
 
 }  // namespace mr

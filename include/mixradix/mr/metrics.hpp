@@ -72,6 +72,15 @@ struct OrderCharacter {
 OrderCharacter characterize_order(const Hierarchy& h, const Order& order,
                                   std::int64_t comm_size);
 
+/// Characterize a batch of orders (e.g. all h! of them), chunked across
+/// the shared thread pool. Element i describes orders[i], independent of
+/// the thread count. `threads`: 0 = util::ThreadPool::default_threads(),
+/// 1 = serial in-thread, N = at most N concurrent workers.
+std::vector<OrderCharacter> characterize_orders(const Hierarchy& h,
+                                                const std::vector<Order>& orders,
+                                                std::int64_t comm_size,
+                                                int threads = 0);
+
 /// Scalar "spreadness" in [0, 1]: expected fraction of levels crossed per
 /// pair (0 = fully packed, 1 = every pair crosses every level). Handy for
 /// sorting orders in exploration tools.

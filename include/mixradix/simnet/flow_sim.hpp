@@ -38,6 +38,15 @@ class FlowSim {
   /// per hierarchy level, hierarchies up to 6 levels deep).
   static constexpr int kMaxChannelsPerFlow = 24;
 
+  /// Per-instance event counters (formerly file-scope globals; instances
+  /// must be independent so simulations can run on concurrent threads).
+  struct Stats {
+    std::int64_t deferred_allocations = 0;  ///< defer fast-path successes.
+    std::int64_t deferred_rejections = 0;   ///< fast path fell through to exact.
+    std::int64_t full_recomputes = 0;       ///< exact progressive-filling passes.
+    std::int64_t pop_batches = 0;           ///< advance_and_pop() batches.
+  };
+
   /// `capacities[c]` is the bytes/s capacity of channel c.
   /// `completion_slack` trades exactness for speed: a flow whose residual
   /// transfer time is within `slack * elapsed-horizon` of the earliest
@@ -74,6 +83,9 @@ class FlowSim {
   /// Completed flows report their final rate.
   double flow_rate(std::int64_t flow);
 
+  /// Event counters since construction.
+  const Stats& stats() const noexcept { return stats_; }
+
  private:
   struct ChanSet {
     std::array<ChannelId, kMaxChannelsPerFlow> ids;
@@ -106,6 +118,7 @@ class FlowSim {
   double completion_slack_ = 0;
   bool rates_dirty_ = true;
   int batches_since_full_ = 0;
+  Stats stats_;
 
   // Incremental per-channel bookkeeping for deferred allocation.
   std::vector<double> used_;

@@ -1,0 +1,86 @@
+// A small work-stealing thread pool shared by the evaluation layer.
+//
+// The paper's workflow — characterize all h! orders, then simulate every
+// (order, message size) point of a figure sweep — is embarrassingly
+// parallel: each point owns its own simulator instance and touches no
+// shared mutable state. The pool fans those points out across cores;
+// callers merge results back in input order, so parallel output is
+// bit-identical to the serial path.
+//
+// Design: one FIFO deque per worker. submit() distributes round-robin;
+// each worker drains its own deque front-to-back (submission order is
+// preserved on a single-worker pool) and steals from the BACK of other
+// workers' deques when its own runs dry, so thieves and owners contend on
+// opposite ends. parallel_for() does not enqueue one task per index:
+// it submits a handful of driver tasks that pull indices from a shared
+// atomic cursor (self-balancing, no per-index allocation) and the calling
+// thread participates, so a pool is never a bottleneck for its own caller
+// and `max_workers == 1` degenerates to an inline serial loop.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mr::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task. The future becomes ready when the task returns;
+  /// an exception escaping the task is captured into the future.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(0) ... body(n-1), blocking until all complete. At most
+  /// `max_workers` threads run concurrently (0 = the whole pool); the
+  /// calling thread always participates, and with one effective worker
+  /// the loop runs inline on the caller. The first exception thrown by
+  /// `body` cancels the remaining indices and is rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    unsigned max_workers = 0);
+
+  /// The process-wide pool, lazily created with default_threads() workers.
+  static ThreadPool& shared();
+
+  /// Thread count used when the caller does not pin one: the
+  /// MIXRADIX_THREADS environment variable when set to a positive integer,
+  /// else std::thread::hardware_concurrency() (minimum 1). Re-read on
+  /// every call so tests and ctest wrappers can override it.
+  static unsigned default_threads();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;  ///< front = oldest.
+  };
+
+  void worker_loop(std::size_t self);
+  bool pop_own(std::size_t self, std::function<void()>& task);
+  bool steal(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> queued_{0};  ///< tasks sitting in some deque.
+  std::atomic<std::size_t> next_queue_{0};
+  bool stop_ = false;  ///< guarded by wake_mutex_.
+};
+
+}  // namespace mr::util

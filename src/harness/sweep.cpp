@@ -1,5 +1,6 @@
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/util/expect.hpp"
+#include "mixradix/util/thread_pool.hpp"
 
 namespace mr::harness {
 
@@ -12,28 +13,53 @@ std::vector<std::int64_t> paper_sizes(std::int64_t max_bytes) {
   return sizes;
 }
 
+// Every (order, size) point is an independent simulation: run_microbench
+// builds its own schedules, TimedExecutor and FlowSim, and only reads the
+// (immutable) machine. Points fan out across the shared pool and land in
+// pre-sized slots indexed by (order, size), so the merged output is
+// bit-identical to the serial path regardless of the thread count or the
+// completion order of the tasks.
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
                                    const SweepConfig& config) {
   MR_EXPECT(!config.orders.empty() && !config.sizes.empty(),
             "sweep needs orders and sizes");
-  std::vector<SweepSeries> out;
-  out.reserve(config.orders.size());
-  for (const Order& order : config.orders) {
-    SweepSeries series;
-    series.character =
-        characterize_order(machine.hierarchy(), order, config.comm_size);
-    series.sizes = config.sizes;
-    for (std::int64_t size : config.sizes) {
-      MicrobenchConfig mb;
-      mb.order = order;
-      mb.comm_size = config.comm_size;
-      mb.collective = config.collective;
-      mb.total_bytes = size;
-      mb.all_comms = config.all_comms;
-      mb.repetitions = config.repetitions;
-      series.results.push_back(run_microbench(machine, mb));
+  MR_EXPECT(config.threads >= 0, "threads must be non-negative");
+  const std::size_t norders = config.orders.size();
+  const std::size_t nsizes = config.sizes.size();
+
+  std::vector<SweepSeries> out(norders);
+  for (std::size_t oi = 0; oi < norders; ++oi) {
+    out[oi].sizes = config.sizes;
+    out[oi].results.resize(nsizes);
+  }
+
+  const auto point = [&](std::size_t task) {
+    const std::size_t oi = task / nsizes;
+    const std::size_t si = task % nsizes;
+    if (si == 0) {
+      out[oi].character = characterize_order(machine.hierarchy(),
+                                             config.orders[oi],
+                                             config.comm_size);
     }
-    out.push_back(std::move(series));
+    MicrobenchConfig mb;
+    mb.order = config.orders[oi];
+    mb.comm_size = config.comm_size;
+    mb.collective = config.collective;
+    mb.total_bytes = config.sizes[si];
+    mb.all_comms = config.all_comms;
+    mb.repetitions = config.repetitions;
+    out[oi].results[si] = run_microbench(machine, mb);
+  };
+
+  const unsigned threads = config.threads > 0
+                               ? static_cast<unsigned>(config.threads)
+                               : util::ThreadPool::default_threads();
+  const std::size_t npoints = norders * nsizes;
+  if (threads <= 1) {
+    // Serial path: never touches the pool (no worker threads spawned).
+    for (std::size_t task = 0; task < npoints; ++task) point(task);
+  } else {
+    util::ThreadPool::shared().parallel_for(npoints, point, threads);
   }
   return out;
 }

@@ -5,6 +5,7 @@
 
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/util/expect.hpp"
+#include "mixradix/util/thread_pool.hpp"
 
 namespace mr {
 
@@ -37,24 +38,57 @@ Signature signature_of(const Hierarchy& h, const Order& order,
   return sig;
 }
 
+/// Resolve the `threads` knob shared by the classification entry points.
+unsigned resolve_workers(int threads) {
+  MR_EXPECT(threads >= 0, "threads must be non-negative");
+  return threads > 0 ? static_cast<unsigned>(threads)
+                     : util::ThreadPool::default_threads();
+}
+
 }  // namespace
 
 std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
-                                        Equivalence granularity) {
+                                        Equivalence granularity, int threads) {
   MR_EXPECT(comm_size >= 1 && h.total() % comm_size == 0,
             "communicator size must divide the number of processes");
+  const unsigned workers = resolve_workers(threads);
+
+  // Phase 1 (parallel): one signature per order, indexed slots. Phase 2
+  // (serial): bucket in lexicographic visit order, so class membership
+  // lists and representatives are independent of the thread count.
+  const std::vector<Order> orders = all_orders_lexicographic(h.depth());
+  std::vector<Signature> signatures(orders.size());
+  const auto sign = [&](std::size_t i) {
+    signatures[i] = signature_of(h, orders[i], comm_size, granularity);
+  };
+  if (workers <= 1 || orders.size() <= 1) {
+    for (std::size_t i = 0; i < orders.size(); ++i) sign(i);
+  } else {
+    util::ThreadPool::shared().parallel_for(orders.size(), sign, workers);
+  }
+
   std::map<Signature, std::vector<Order>> buckets;
-  for_each_order(h.depth(), [&](const Order& order) {
-    buckets[signature_of(h, order, comm_size, granularity)].push_back(order);
-    return true;
-  });
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    buckets[std::move(signatures[i])].push_back(orders[i]);
+  }
+
   std::vector<OrderClass> classes;
   classes.reserve(buckets.size());
   for (auto& [sig, members] : buckets) {
     OrderClass cls;
-    cls.members = std::move(members);  // for_each_order visits lexicographically
-    cls.representative = characterize_order(h, cls.members.front(), comm_size);
+    cls.members = std::move(members);  // lexicographic within each bucket
     classes.push_back(std::move(cls));
+  }
+  // Phase 3 (parallel): metrics of each representative.
+  const auto characterize = [&](std::size_t c) {
+    classes[c].representative =
+        characterize_order(h, classes[c].members.front(), comm_size);
+  };
+  if (workers <= 1 || classes.size() <= 1) {
+    for (std::size_t c = 0; c < classes.size(); ++c) characterize(c);
+  } else {
+    util::ThreadPool::shared().parallel_for(classes.size(), characterize,
+                                            workers);
   }
   std::sort(classes.begin(), classes.end(),
             [](const OrderClass& a, const OrderClass& b) {
@@ -64,9 +98,9 @@ std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_si
 }
 
 std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
-                                   Equivalence granularity) {
+                                   Equivalence granularity, int threads) {
   std::vector<Order> out;
-  for (const auto& cls : classify_orders(h, comm_size, granularity)) {
+  for (const auto& cls : classify_orders(h, comm_size, granularity, threads)) {
     out.push_back(cls.members.front());
   }
   return out;

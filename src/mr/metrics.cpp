@@ -2,6 +2,7 @@
 
 #include "mixradix/util/expect.hpp"
 #include "mixradix/util/strings.hpp"
+#include "mixradix/util/thread_pool.hpp"
 
 namespace mr {
 
@@ -99,6 +100,25 @@ OrderCharacter characterize_order(const Hierarchy& h, const Order& order,
   out.order = order;
   out.ring_cost = ring_cost(h, members);
   out.pair_pct = pair_percentages(h, members);
+  return out;
+}
+
+std::vector<OrderCharacter> characterize_orders(const Hierarchy& h,
+                                                const std::vector<Order>& orders,
+                                                std::int64_t comm_size,
+                                                int threads) {
+  MR_EXPECT(threads >= 0, "threads must be non-negative");
+  std::vector<OrderCharacter> out(orders.size());
+  const auto one = [&](std::size_t i) {
+    out[i] = characterize_order(h, orders[i], comm_size);
+  };
+  const unsigned workers = threads > 0 ? static_cast<unsigned>(threads)
+                                       : util::ThreadPool::default_threads();
+  if (workers <= 1 || orders.size() <= 1) {
+    for (std::size_t i = 0; i < orders.size(); ++i) one(i);
+  } else {
+    util::ThreadPool::shared().parallel_for(orders.size(), one, workers);
+  }
   return out;
 }
 

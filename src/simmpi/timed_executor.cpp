@@ -57,16 +57,11 @@ struct RankState {
 
 class Engine {
  public:
-  // Completion slack for the flow simulator: merges cascades of nearly
-  // simultaneous completions into one rate update. 0.5% keeps the relative
-  // timing error well below the variation the experiments measure while
-  // cutting event counts by an order of magnitude on big collectives.
-  static constexpr double kCompletionSlack = 0.02;
-
-  Engine(const topo::Machine& machine, const std::vector<JobSpec>& jobs)
+  Engine(const topo::Machine& machine, const std::vector<JobSpec>& jobs,
+         double completion_slack)
       : machine_(machine),
         jobs_(jobs),
-        flows_(simnet::channel_capacities(machine), kCompletionSlack) {
+        flows_(simnet::channel_capacities(machine), completion_slack) {
     msg_state_.resize(jobs.size());
     rank_state_.resize(jobs.size());
     finish_.assign(jobs.size(), 0.0);
@@ -119,6 +114,7 @@ class Engine {
     }
     result_.job_finish = finish_;
     for (double f : finish_) result_.makespan = std::max(result_.makespan, f);
+    result_.flow_stats = flows_.stats();
     return result_;
   }
 
@@ -271,18 +267,20 @@ class Engine {
 }  // namespace
 
 TimedResult run_timed(const topo::Machine& machine,
-                      const std::vector<JobSpec>& jobs) {
+                      const std::vector<JobSpec>& jobs,
+                      double completion_slack) {
   MR_EXPECT(!jobs.empty(), "need at least one job");
-  Engine engine(machine, jobs);
+  Engine engine(machine, jobs, completion_slack);
   return engine.run();
 }
 
 double run_timed_single(const topo::Machine& machine, const Schedule& schedule,
-                        std::vector<std::int64_t> core_of_rank) {
+                        std::vector<std::int64_t> core_of_rank,
+                        double completion_slack) {
   JobSpec job;
   job.schedule = &schedule;
   job.core_of_rank = std::move(core_of_rank);
-  const TimedResult result = run_timed(machine, {job});
+  const TimedResult result = run_timed(machine, {job}, completion_slack);
   return result.makespan;
 }
 

@@ -7,7 +7,6 @@
 #include "mixradix/util/expect.hpp"
 
 namespace mr::simnet {
-long g_defer_ok=0, g_defer_fail=0, g_full=0, g_pops=0;
 namespace {
 // Bytes below which a flow counts as drained (guards rounding error).
 constexpr double kByteEpsilon = 1e-6;
@@ -96,10 +95,10 @@ bool FlowSim::try_defer_allocation(std::size_t index) {
   }
   if (!(headroom >= 0.9 * fair) || headroom <= 0) {
     if (steal_allocation(index, fair)) return true;
-    ++g_defer_fail;
+    ++stats_.deferred_rejections;
     return false;
   }
-  ++g_defer_ok;
+  ++stats_.deferred_allocations;
   rate_[index] = headroom;
   for (std::int32_t k = 0; k < set.count; ++k) {
     const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
@@ -155,7 +154,7 @@ bool FlowSim::steal_allocation(std::size_t index, double fair) {
 
 void FlowSim::recompute_rates() {
   if (!rates_dirty_) return;
-  ++g_full;
+  ++stats_.full_recomputes;
   rates_dirty_ = false;
   const std::size_t n = remaining_.size();
 
@@ -321,7 +320,7 @@ void FlowSim::remove_active(std::size_t index) {
 }
 
 std::vector<Completion> FlowSim::advance_and_pop() {
-  ++g_pops;
+  ++stats_.pop_batches;
   std::vector<Completion> done;
   const auto t = next_completion_time();
   MR_EXPECT(t.has_value(), "no active flows to advance to");

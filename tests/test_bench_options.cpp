@@ -1,0 +1,64 @@
+// CLI parsing shared by the figure benches (bench/bench_common.hpp).
+#include "bench/bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bench {
+namespace {
+
+TEST(BenchOptions, DefaultsReproduceThePaperAxes) {
+  const Options o = Options::parse_args({});
+  EXPECT_EQ(o.max_size, 512ll << 20);
+  EXPECT_EQ(o.repetitions, 2);
+  EXPECT_EQ(o.threads, 0);  // auto
+  EXPECT_TRUE(o.csv_path.empty());
+}
+
+TEST(BenchOptions, ParsesEveryFlag) {
+  const Options o = Options::parse_args(
+      {"--max-size=1048576", "--reps=5", "--threads=4", "--csv=out.csv"});
+  EXPECT_EQ(o.max_size, 1048576);
+  EXPECT_EQ(o.repetitions, 5);
+  EXPECT_EQ(o.threads, 4);
+  EXPECT_EQ(o.csv_path, "out.csv");
+}
+
+TEST(BenchOptions, ResolvedThreadsHonoursExplicitValueAndAuto) {
+  Options o;
+  o.threads = 7;
+  EXPECT_EQ(o.resolved_threads(), 7);
+  o.threads = 0;
+  EXPECT_EQ(o.resolved_threads(),
+            static_cast<int>(mr::util::ThreadPool::default_threads()));
+}
+
+TEST(BenchOptions, RejectsUnknownFlags) {
+  EXPECT_THROW(Options::parse_args({"--frobnicate=1"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"extra"}), std::invalid_argument);
+}
+
+TEST(BenchOptions, RejectsMalformedIntegers) {
+  EXPECT_THROW(Options::parse_args({"--threads=four"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--threads=4x"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--threads="}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--reps=2.5"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--max-size=1e6"}), std::invalid_argument);
+}
+
+TEST(BenchOptions, RejectsOutOfRangeValues) {
+  EXPECT_THROW(Options::parse_args({"--threads=0"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--threads=-2"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--reps=0"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--max-size=0"}), std::invalid_argument);
+  EXPECT_THROW(Options::parse_args({"--max-size=-1"}), std::invalid_argument);
+}
+
+TEST(BenchOptions, LastFlagWins) {
+  const Options o = Options::parse_args({"--reps=3", "--reps=9"});
+  EXPECT_EQ(o.repetitions, 9);
+}
+
+}  // namespace
+}  // namespace bench

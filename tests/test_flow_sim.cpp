@@ -140,6 +140,56 @@ TEST(Path, CrossNodeClimbsAllLevels) {
   EXPECT_TRUE(ch.contains(memory_channel(m, 1, 3)));
 }
 
+TEST(FlowSimStats, ScriptedScenarioCountsDeferredAndFullRecomputes) {
+  // With completion slack on, the second flow arrives after the first
+  // completed and freed exactly its headroom: the deferred fast path
+  // grants it without an exact recompute.
+  FlowSim sim({100.0}, 0.01);
+  sim.add_flow({0}, 100.0, 1);  // rates dirty at construction: no defer.
+  auto done = sim.advance_and_pop();  // exact recompute #1, batch #1.
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].time, 1.0);
+  sim.add_flow({0}, 100.0, 2);        // deferred allocation #1.
+  done = sim.advance_and_pop();       // rates still clean, batch #2.
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].time, 2.0);
+
+  const FlowSim::Stats& stats = sim.stats();
+  EXPECT_EQ(stats.deferred_allocations, 1);
+  EXPECT_EQ(stats.deferred_rejections, 0);
+  EXPECT_EQ(stats.full_recomputes, 1);
+  EXPECT_EQ(stats.pop_batches, 2);
+}
+
+TEST(FlowSimStats, ExactModeNeverDefers) {
+  // Slack 0 disables the fast path: every batch forces an exact pass.
+  FlowSim sim({100.0});
+  sim.add_flow({0}, 100.0, 1);
+  sim.advance_and_pop();
+  sim.add_flow({0}, 100.0, 2);
+  sim.advance_and_pop();
+
+  const FlowSim::Stats& stats = sim.stats();
+  EXPECT_EQ(stats.deferred_allocations, 0);
+  EXPECT_EQ(stats.deferred_rejections, 0);
+  EXPECT_EQ(stats.full_recomputes, 2);
+  EXPECT_EQ(stats.pop_batches, 2);
+}
+
+TEST(FlowSimStats, InstancesAreIndependent) {
+  // Formerly file-scope globals: one instance's traffic must not leak
+  // into another's counters (a prerequisite for concurrent simulations).
+  FlowSim busy({100.0}, 0.01);
+  FlowSim idle({100.0}, 0.01);
+  busy.add_flow({0}, 100.0, 1);
+  busy.advance_and_pop();
+  EXPECT_EQ(busy.stats().full_recomputes, 1);
+  EXPECT_EQ(busy.stats().pop_batches, 1);
+  EXPECT_EQ(idle.stats().full_recomputes, 0);
+  EXPECT_EQ(idle.stats().pop_batches, 0);
+  EXPECT_EQ(idle.stats().deferred_allocations, 0);
+}
+
 TEST(Path, MemoryChannelRequiresAModeledLevel) {
   const auto m = topo::testbox();  // node level has mem_bandwidth 0
   EXPECT_THROW(memory_channel(m, 0, 0), invalid_argument);

@@ -89,6 +89,20 @@ TEST(PaperSizes, MatchesTheFiguresAxes) {
   EXPECT_EQ(paper_sizes(1 << 20).size(), 3u);  // 16K, 128K, 1M
 }
 
+TEST(PaperSizes, EdgeCasesAroundTheFirstTick) {
+  // Caps below the 16 KB first tick leave no valid size: the sweep's
+  // precondition (non-empty sizes) then reports the misconfiguration.
+  EXPECT_TRUE(paper_sizes(0).empty());
+  EXPECT_TRUE(paper_sizes(1).empty());
+  EXPECT_TRUE(paper_sizes((16 << 10) - 1).empty());
+  EXPECT_TRUE(paper_sizes(-(16ll << 10)).empty());
+  // Exactly the first tick is inclusive.
+  ASSERT_EQ(paper_sizes(16 << 10).size(), 1u);
+  EXPECT_EQ(paper_sizes(16 << 10).front(), 16ll << 10);
+  // One byte below the next tick still yields only the first.
+  EXPECT_EQ(paper_sizes((128 << 10) - 1).size(), 1u);
+}
+
 TEST(Sweep, SeriesCarryLegendsAndResults) {
   SweepConfig config;
   config.orders = {parse_order("0-1-2-3"), parse_order("3-2-1-0")};
@@ -104,6 +118,68 @@ TEST(Sweep, SeriesCarryLegendsAndResults) {
     EXPECT_EQ(s.character.pair_pct.size(), 4u);
   }
   EXPECT_EQ(order_to_string(series[0].character.order), "0-1-2-3");
+}
+
+TEST(Sweep, ParallelAndSerialResultsAreBitIdentical) {
+  // The determinism guarantee of the parallel sweep engine: every (order,
+  // size) point owns its simulator, results merge in input order, so the
+  // thread count must not change a single bit — including the CSV bytes.
+  SweepConfig config;
+  config.orders = {parse_order("0-1-2-3"), parse_order("1-3-2-0"),
+                   parse_order("3-2-1-0")};
+  config.sizes = {16 << 10, 128 << 10, 1 << 20};
+  config.comm_size = 16;
+  config.collective = simmpi::Collective::Alltoall;
+  config.all_comms = true;
+  config.repetitions = 1;
+
+  config.threads = 1;
+  const auto serial = run_sweep(small_hydra(), config);
+  config.threads = 4;
+  const auto parallel = run_sweep(small_hydra(), config);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s].character.order, parallel[s].character.order);
+    EXPECT_EQ(serial[s].character.ring_cost, parallel[s].character.ring_cost);
+    EXPECT_EQ(serial[s].character.pair_pct, parallel[s].character.pair_pct);
+    EXPECT_EQ(serial[s].sizes, parallel[s].sizes);
+    ASSERT_EQ(serial[s].results.size(), parallel[s].results.size());
+    for (std::size_t r = 0; r < serial[s].results.size(); ++r) {
+      const auto& a = serial[s].results[r];
+      const auto& b = parallel[s].results[r];
+      // EXPECT_EQ, not NEAR: identical inputs must give identical bits.
+      EXPECT_EQ(a.mean_seconds_per_op, b.mean_seconds_per_op);
+      EXPECT_EQ(a.mean_bandwidth, b.mean_bandwidth);
+      EXPECT_EQ(a.bw_p10, b.bw_p10);
+      EXPECT_EQ(a.bw_p90, b.bw_p90);
+      EXPECT_EQ(a.algorithm, b.algorithm);
+    }
+  }
+
+  std::ostringstream serial_csv, parallel_csv;
+  write_figure_csv(serial_csv, "det", serial, {});
+  write_figure_csv(parallel_csv, "det", parallel, {});
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+TEST(Sweep, DefaultThreadCountMatchesTheForcedSerialPath) {
+  // threads = 0 resolves to hardware_concurrency (or MIXRADIX_THREADS);
+  // whatever it picks, the output must equal the serial path's.
+  SweepConfig config;
+  config.orders = {parse_order("2-1-0-3")};
+  config.sizes = {16 << 10, 128 << 10};
+  config.comm_size = 16;
+  config.repetitions = 1;
+  config.threads = 0;
+  const auto auto_threads = run_sweep(small_hydra(), config);
+  config.threads = 1;
+  const auto serial = run_sweep(small_hydra(), config);
+  ASSERT_EQ(auto_threads.size(), serial.size());
+  for (std::size_t r = 0; r < serial[0].results.size(); ++r) {
+    EXPECT_EQ(auto_threads[0].results[r].mean_bandwidth,
+              serial[0].results[r].mean_bandwidth);
+  }
 }
 
 TEST(Report, PrintFigureContainsLegendAndRows) {

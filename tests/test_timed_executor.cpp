@@ -213,5 +213,29 @@ TEST(TimedExecutor, DeterministicAcrossRuns) {
   EXPECT_EQ(t1, t2);
 }
 
+TEST(TimedExecutor, CompletionSlackIsATunableParameter) {
+  const auto m = topo::testbox();
+  const Schedule coll = alltoall_pairwise(8, 16384);
+  const std::vector<std::int64_t> cores{0, 1, 2, 3, 4, 5, 6, 7};
+  // Exact timing (slack 0) and the default 2% slack must agree to within
+  // the documented per-hop error bound, scaled by the rounds in flight.
+  const double exact = run_timed_single(m, coll, cores, 0.0);
+  const double slack = run_timed_single(m, coll, cores);
+  EXPECT_GT(exact, 0);
+  EXPECT_NEAR(slack, exact, exact * 0.1);
+  EXPECT_THROW(run_timed_single(m, coll, cores, -0.1), invalid_argument);
+  EXPECT_THROW(run_timed_single(m, coll, cores, 0.5), invalid_argument);
+}
+
+TEST(TimedExecutor, ReportsFlowSimStats) {
+  const auto m = topo::testbox();
+  const Schedule coll = alltoall_pairwise(8, 16384);
+  JobSpec job{&coll, {0, 1, 2, 3, 4, 5, 6, 7}, 0.0};
+  const TimedResult result = run_timed(m, {job});
+  EXPECT_GE(result.flow_stats.full_recomputes, 1);
+  EXPECT_GE(result.flow_stats.pop_batches, 1);
+  EXPECT_LE(result.flow_stats.pop_batches, result.total_flow_events);
+}
+
 }  // namespace
 }  // namespace mr::simmpi
