@@ -14,10 +14,26 @@
 
 namespace mr::simmpi {
 
+/// When the DataExecutor statically verifies its schedule.
+enum class Preverify {
+  Off,        ///< trust the schedule; dynamic deadlock check only.
+  OnDeadlock, ///< run the analyzer when the dynamic check trips, for the
+              ///  happens-before cycle trace (no cost on the happy path).
+  Upfront,    ///< analyze before executing anything; throw when not clean.
+};
+
+/// Upfront in MIXRADIX_VERIFY_SCHEDULES builds, OnDeadlock otherwise.
+#ifdef MIXRADIX_VERIFY_SCHEDULES
+inline constexpr Preverify kDefaultPreverify = Preverify::Upfront;
+#else
+inline constexpr Preverify kDefaultPreverify = Preverify::OnDeadlock;
+#endif
+
 class DataExecutor {
  public:
   /// Takes its own copy of the schedule: executors outlive temporaries.
-  explicit DataExecutor(Schedule schedule);
+  explicit DataExecutor(Schedule schedule,
+                        Preverify preverify = kDefaultPreverify);
 
   /// Mutable arena of `rank` (size = schedule.arena_size), for initialising
   /// inputs before run() and reading outputs after.
@@ -26,6 +42,8 @@ class DataExecutor {
 
   /// Execute every round of every rank; throws mr::invalid_argument if the
   /// schedule deadlocks (a receive whose matching send can never execute).
+  /// Unless preverify is Off, the thrown message carries the static
+  /// analyzer's happens-before cycle trace (rank/round/message chain).
   void run();
 
  private:
@@ -33,6 +51,7 @@ class DataExecutor {
   void execute_round(std::int32_t rank);
 
   Schedule schedule_;
+  Preverify preverify_;
   std::vector<std::vector<double>> arenas_;
   std::vector<std::size_t> pc_;                     ///< next round per rank.
   std::vector<std::vector<double>> mailbox_;        ///< payload per message.

@@ -107,7 +107,11 @@ class ScheduleBuilder {
 
   void compute(int round, std::int32_t rank, double seconds);
 
-  /// Finalise; validates the result (aborting on generator bugs).
+  /// Finalise; validates the result (throwing on generator bugs). Under
+  /// the MIXRADIX_VERIFY_SCHEDULES build option the result is additionally
+  /// run through the static analyzer (mixradix/verify/verify.hpp) and any
+  /// Error-level finding — deadlock, write race, conservation violation —
+  /// throws with the full diagnostic report.
   Schedule build() &&;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mixradix/util/expect.hpp"
+#include "mixradix/verify/verify.hpp"
 
 namespace mr::simmpi {
 
@@ -28,9 +29,15 @@ void combine_into(Combine combine, const double* src, double* dst,
   MR_ASSERT_INTERNAL(false);
 }
 
-DataExecutor::DataExecutor(Schedule schedule) : schedule_(std::move(schedule)) {
+DataExecutor::DataExecutor(Schedule schedule, Preverify preverify)
+    : schedule_(std::move(schedule)), preverify_(preverify) {
   const std::string error = schedule_.validate();
   MR_EXPECT(error.empty(), "malformed schedule: " + error);
+  if (preverify_ == Preverify::Upfront) {
+    const verify::Report report = verify::analyze(schedule_);
+    MR_EXPECT(report.clean(),
+              "schedule fails static verification:\n" + report.to_string());
+  }
   arenas_.assign(static_cast<std::size_t>(schedule_.nranks),
                  std::vector<double>(static_cast<std::size_t>(schedule_.arena_size), 0.0));
   pc_.assign(static_cast<std::size_t>(schedule_.nranks), 0);
@@ -118,8 +125,19 @@ void DataExecutor::run() {
       if (pc_[r] < rounds.size()) done = false;
     }
     if (done) return;
-    MR_EXPECT(progress, "schedule deadlocks: a receive waits on a send that "
-                        "can never execute");
+    if (!progress) {
+      // The static analyzer reconstructs *why*: the happens-before cycle
+      // with its rank/round/message chain beats "a receive waits on a send".
+      std::string detail = "a receive waits on a send that can never execute";
+      if (preverify_ != Preverify::Off) {
+        verify::Options options;
+        options.check_races = false;
+        options.check_dataflow = false;
+        const verify::Report report = verify::analyze(schedule_, options);
+        if (!report.clean()) detail = report.to_string();
+      }
+      MR_EXPECT(false, "schedule deadlocks: " + detail);
+    }
   }
 }
 

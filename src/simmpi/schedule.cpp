@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "mixradix/util/expect.hpp"
+#ifdef MIXRADIX_VERIFY_SCHEDULES
+#include "mixradix/verify/verify.hpp"
+#endif
 
 namespace mr::simmpi {
 
@@ -40,41 +43,61 @@ std::string Schedule::validate() const {
     }
   }
   for (std::int32_t rank = 0; rank < nranks; ++rank) {
-    for (const auto& round : programs[static_cast<std::size_t>(rank)].rounds) {
+    const auto& rounds = programs[static_cast<std::size_t>(rank)].rounds;
+    for (std::size_t k = 0; k < rounds.size(); ++k) {
+      const auto& round = rounds[k];
+      const std::string at =
+          "rank " + std::to_string(rank) + " round " + std::to_string(k);
       for (const auto& op : round.sends) {
         if (op.msg < 0 || static_cast<std::size_t>(op.msg) >= messages.size()) {
-          return "send references unknown message";
+          return "send op on " + at + " references unknown message " +
+                 std::to_string(op.msg);
         }
         if (messages[static_cast<std::size_t>(op.msg)].src != rank) {
-          return "send op on rank " + std::to_string(rank) + " for message " +
-                 std::to_string(op.msg) + " owned by rank " +
+          return "send op on " + at + " for message " + std::to_string(op.msg) +
+                 " owned by rank " +
                  std::to_string(messages[static_cast<std::size_t>(op.msg)].src);
         }
         ++sent[static_cast<std::size_t>(op.msg)];
       }
       for (const auto& op : round.recvs) {
         if (op.msg < 0 || static_cast<std::size_t>(op.msg) >= messages.size()) {
-          return "recv references unknown message";
+          return "recv op on " + at + " references unknown message " +
+                 std::to_string(op.msg);
         }
         if (messages[static_cast<std::size_t>(op.msg)].dst != rank) {
-          return "recv op on wrong rank";
+          return "recv op on " + at + " for message " + std::to_string(op.msg) +
+                 " addressed to rank " +
+                 std::to_string(messages[static_cast<std::size_t>(op.msg)].dst);
         }
         ++received[static_cast<std::size_t>(op.msg)];
       }
       for (const auto& op : round.copies) {
         if (!region_ok(op.src, arena_size) || !region_ok(op.dst, arena_size)) {
-          return "copy region out of arena";
+          return "copy on " + at + " has a region out of arena";
         }
-        if (op.src.count != op.dst.count) return "copy count mismatch";
+        if (op.src.count != op.dst.count) {
+          return "copy on " + at + " has mismatched src/dst counts";
+        }
       }
-      if (round.compute_seconds < 0) return "negative compute time";
+      if (round.compute_seconds < 0) {
+        return "negative compute time on " + at;
+      }
     }
   }
   for (std::size_t m = 0; m < messages.size(); ++m) {
-    if (sent[m] != 1) return "message " + std::to_string(m) + " sent " +
-                             std::to_string(sent[m]) + " times";
-    if (received[m] != 1) return "message " + std::to_string(m) + " received " +
-                                 std::to_string(received[m]) + " times";
+    if (sent[m] != 1) {
+      return "message " + std::to_string(m) + " (rank " +
+             std::to_string(messages[m].src) + " -> rank " +
+             std::to_string(messages[m].dst) + ") sent " +
+             std::to_string(sent[m]) + " times";
+    }
+    if (received[m] != 1) {
+      return "message " + std::to_string(m) + " (rank " +
+             std::to_string(messages[m].src) + " -> rank " +
+             std::to_string(messages[m].dst) + ") received " +
+             std::to_string(received[m]) + " times";
+    }
   }
   return {};
 }
@@ -120,6 +143,13 @@ void ScheduleBuilder::compute(int round, std::int32_t rank, double seconds) {
 Schedule ScheduleBuilder::build() && {
   const std::string error = schedule_.validate();
   MR_EXPECT(error.empty(), "generated schedule is malformed: " + error);
+#ifdef MIXRADIX_VERIFY_SCHEDULES
+  // Debug builds prove deadlock/race/conservation freedom of every schedule
+  // a generator emits, at the point of generation.
+  const verify::Report report = verify::analyze(schedule_);
+  MR_EXPECT(report.clean(),
+            "generated schedule fails static verification:\n" + report.to_string());
+#endif
   return std::move(schedule_);
 }
 

@@ -75,6 +75,69 @@ TEST(ScheduleValidate, CatchesCorruption) {
   EXPECT_FALSE(bad.validate().empty());
 }
 
+// Each structural failure branch must name the offending message/rank so a
+// generator bug is locatable from the diagnostic alone.
+TEST(ScheduleValidate, DiagnosticsNameTheCulprit) {
+  ScheduleBuilder b(2, 8);
+  b.exchange(0, 0, Region{0, 4}, 1, Region{4, 4});
+  const Schedule s = std::move(b).build();
+  const auto expect_mentions = [](const std::string& diagnostic,
+                                  std::initializer_list<const char*> needles) {
+    for (const char* needle : needles) {
+      EXPECT_NE(diagnostic.find(needle), std::string::npos)
+          << "\"" << diagnostic << "\" does not mention \"" << needle << "\"";
+    }
+  };
+
+  Schedule bad = s;
+  bad.messages[0].dst = 5;
+  expect_mentions(bad.validate(), {"message 0", "bad endpoints"});
+
+  bad = s;
+  bad.messages[0].src_region = Region{6, 4};
+  expect_mentions(bad.validate(), {"message 0", "region out of arena"});
+
+  bad = s;
+  bad.messages[0].dst_region.count = 2;
+  expect_mentions(bad.validate(), {"message 0", "src/dst count mismatch"});
+
+  bad = s;
+  bad.programs[0].rounds[0].sends.push_back(SendOp{0});
+  expect_mentions(bad.validate(), {"message 0", "rank 0", "sent 2 times"});
+
+  bad = s;
+  bad.programs[1].rounds[0].recvs.clear();
+  expect_mentions(bad.validate(), {"message 0", "received 0 times"});
+
+  bad = s;
+  bad.programs[0].rounds[0].sends[0].msg = 7;
+  expect_mentions(bad.validate(),
+                  {"rank 0", "round 0", "unknown message 7"});
+
+  bad = s;
+  bad.programs[1].rounds[0].recvs[0].msg = 7;
+  expect_mentions(bad.validate(),
+                  {"rank 1", "round 0", "unknown message 7"});
+
+  bad = s;
+  bad.programs[1].rounds[0].recvs[0] = RecvOp{0};
+  bad.programs[0].rounds[0].recvs.push_back(RecvOp{0});
+  expect_mentions(bad.validate(), {"rank 0", "round 0", "addressed to rank 1"});
+
+  bad = s;
+  bad.programs[0].rounds[0].copies.push_back(CopyOp{Region{0, 9}, Region{0, 9}});
+  expect_mentions(bad.validate(), {"rank 0", "round 0", "out of arena"});
+
+  bad = s;
+  bad.programs[0].rounds[0].copies.push_back(CopyOp{Region{0, 2}, Region{4, 3}});
+  expect_mentions(bad.validate(), {"rank 0", "round 0", "mismatched src/dst"});
+
+  bad = s;
+  bad.programs[0].rounds[0].compute_seconds = -1;
+  expect_mentions(bad.validate(),
+                  {"negative compute time", "rank 0", "round 0"});
+}
+
 TEST(ScheduleValidate, WrongOwnerDetected) {
   ScheduleBuilder b(3, 8);
   b.exchange(0, 0, Region{0, 4}, 1, Region{4, 4});
@@ -89,14 +152,20 @@ TEST(ScheduleValidate, WrongOwnerDetected) {
 TEST(DataExecutor, DetectsDeadlock) {
   // Rank 0 waits (round 0 recv) for a message rank 1 only sends in its
   // round 1, but rank 1's round 0 waits for rank 0's round-1 send: cycle.
-  ScheduleBuilder b(2, 4);
-  b.message(1, 0, Region{0, 2}, 0, 1, Region{2, 2});  // 0 sends in round 1
-  b.message(1, 1, Region{0, 2}, 0, 0, Region{2, 2});  // 1 sends in round 1
-  const Schedule s = std::move(b).build();
-  // Each rank's round 0 has only the recv; the matching sends sit in round
-  // 1 behind those recvs.
-  DataExecutor exec(s);
-  EXPECT_THROW(exec.run(), invalid_argument);
+  // Under MIXRADIX_VERIFY_SCHEDULES build() itself throws; otherwise the
+  // executor's dynamic backstop does — either way it is invalid_argument.
+  EXPECT_THROW(
+      {
+        ScheduleBuilder b(2, 4);
+        b.message(1, 0, Region{0, 2}, 0, 1, Region{2, 2});  // 0 sends in round 1
+        b.message(1, 1, Region{0, 2}, 0, 0, Region{2, 2});  // 1 sends in round 1
+        const Schedule s = std::move(b).build();
+        // Each rank's round 0 has only the recv; the matching sends sit in
+        // round 1 behind those recvs.
+        DataExecutor exec(s);
+        exec.run();
+      },
+      invalid_argument);
 }
 
 TEST(Concat, SequencesPartsWithoutBarriers) {

@@ -1,0 +1,430 @@
+// Static schedule verification: the full generator matrix must analyze
+// clean, and hand-built adversarial schedules must be rejected with
+// diagnostics naming the culprit rank/round/message.
+#include "mixradix/verify/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mixradix/simmpi/collectives.hpp"
+#include "mixradix/simmpi/data_executor.hpp"
+#include "mixradix/util/expect.hpp"
+#include "mixradix/verify/generator_matrix.hpp"
+
+namespace mr::verify {
+namespace {
+
+using simmpi::Combine;
+using simmpi::CopyOp;
+using simmpi::Region;
+using simmpi::Schedule;
+
+// Adversarial schedules are assembled as raw IR, not via ScheduleBuilder:
+// the builder rejects some of them outright, and under the
+// MIXRADIX_VERIFY_SCHEDULES build option it would reject all of them.
+Schedule blank(std::int32_t nranks, std::int64_t arena) {
+  Schedule s;
+  s.nranks = nranks;
+  s.arena_size = arena;
+  s.programs.resize(static_cast<std::size_t>(nranks));
+  return s;
+}
+
+simmpi::Round& round_of(Schedule& s, std::int32_t rank, int round) {
+  auto& rounds = s.programs[static_cast<std::size_t>(rank)].rounds;
+  if (rounds.size() <= static_cast<std::size_t>(round)) {
+    rounds.resize(static_cast<std::size_t>(round) + 1);
+  }
+  return rounds[static_cast<std::size_t>(round)];
+}
+
+std::int32_t add_message(Schedule& s, std::int32_t src, int send_round,
+                         Region src_region, std::int32_t dst, int recv_round,
+                         Region dst_region,
+                         Combine combine = Combine::Replace) {
+  const auto id = static_cast<std::int32_t>(s.messages.size());
+  s.messages.push_back(
+      simmpi::MsgInfo{src, dst, src_region, dst_region, combine});
+  round_of(s, src, send_round).sends.push_back(simmpi::SendOp{id});
+  round_of(s, dst, recv_round).recvs.push_back(simmpi::RecvOp{id});
+  return id;
+}
+
+bool has(const Report& report, Severity severity, Check check) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.severity == severity && d.check == check;
+                     });
+}
+
+const Diagnostic* first(const Report& report, Check check) {
+  for (const auto& d : report.diagnostics) {
+    if (d.check == check) return &d;
+  }
+  return nullptr;
+}
+
+// ---- Generator matrix acceptance -------------------------------------------
+
+TEST(VerifyMatrix, EveryGeneratedScheduleAnalyzesClean) {
+  const auto points =
+      generator_matrix({1, 2, 3, 4, 5, 8, 13, 16}, {1, 5, 1000});
+  ASSERT_GT(points.size(), 100u);
+  for (const auto& point : points) {
+    const Schedule s = point.make();
+    const Report report = analyze(s);
+    EXPECT_TRUE(report.clean())
+        << point.name << " rejected:\n" << report.to_string();
+  }
+}
+
+TEST(VerifyMatrix, CoversTheCompositionShapes) {
+  const auto names = algorithm_names();
+  for (const char* required : {"repeat", "concat", "merge", "concat_merge"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+  const auto points = generator_matrix({4}, {8});
+  const auto by_name = [&](const std::string& algorithm) {
+    return std::any_of(points.begin(), points.end(),
+                       [&](const MatrixPoint& p) {
+                         return p.algorithm == algorithm;
+                       });
+  };
+  EXPECT_TRUE(by_name("repeat"));
+  EXPECT_TRUE(by_name("concat"));
+  EXPECT_TRUE(by_name("merge"));
+  EXPECT_TRUE(by_name("concat_merge"));
+}
+
+TEST(VerifyMatrix, MakeNamedRejectsUnsupportedPoints) {
+  EXPECT_THROW(make_named("no_such_algorithm", 4, 8), invalid_argument);
+  EXPECT_THROW(make_named("allgather_recursive_doubling", 6, 8),
+               invalid_argument);
+  EXPECT_FALSE(supports("allgather_recursive_doubling", 6));
+  EXPECT_TRUE(supports("allgather_recursive_doubling", 8));
+  EXPECT_TRUE(analyze(make_named("alltoall_bruck", 6, 16)).clean());
+}
+
+// Steady-state repetition overwrites the previous iteration's unread
+// results by design: the analyzer must accept it (no errors) while still
+// surfacing the dead writes as warnings.
+TEST(VerifyMatrix, RepeatIsCleanButHasDeadWriteWarnings) {
+  const Schedule s = simmpi::repeat(simmpi::allreduce_ring(4, 8), 2);
+  const Report report = analyze(s);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(has(report, Severity::Warning, Check::DeadWrite))
+      << report.to_string();
+}
+
+// ---- Adversarial: deadlock -------------------------------------------------
+
+// The classic send/recv round inversion: each rank's round-0 receive waits
+// for a message the peer only posts in round 1, behind its own stuck recv.
+Schedule round_inversion() {
+  Schedule s = blank(2, 4);
+  add_message(s, 0, 1, Region{0, 2}, 1, 0, Region{2, 2});
+  add_message(s, 1, 1, Region{0, 2}, 0, 0, Region{2, 2});
+  return s;
+}
+
+TEST(VerifyDeadlock, RoundInversionReportsTheFullCycle) {
+  const Report report = analyze(round_inversion());
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Deadlock);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->severity, Severity::Error);
+  // The trace names every node of the cycle: both ranks, their stuck
+  // rounds, and both messages.
+  EXPECT_NE(d->text.find("cycle"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("rank 0"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("rank 1"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("message 0"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("message 1"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("round 0"), std::string::npos) << d->text;
+}
+
+TEST(VerifyDeadlock, ThreeRankCycleNamesEveryRank) {
+  Schedule s = blank(3, 4);
+  add_message(s, 0, 1, Region{0, 2}, 1, 0, Region{2, 2});
+  add_message(s, 1, 1, Region{0, 2}, 2, 0, Region{2, 2});
+  add_message(s, 2, 1, Region{0, 2}, 0, 0, Region{2, 2});
+  const Report report = analyze(s);
+  const Diagnostic* d = first(report, Check::Deadlock);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  for (const char* rank : {"rank 0", "rank 1", "rank 2"}) {
+    EXPECT_NE(d->text.find(rank), std::string::npos) << d->text;
+  }
+}
+
+TEST(VerifyDeadlock, SelfMessageBehindItsOwnReceiveDeadlocks) {
+  // Rank 0 receives message 0 in round 0 but only posts it in round 1:
+  // a one-rank happens-before cycle (plus the self-message warning).
+  Schedule s = blank(2, 4);
+  add_message(s, 0, 1, Region{0, 2}, 0, 0, Region{2, 2});
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has(report, Severity::Error, Check::Deadlock))
+      << report.to_string();
+}
+
+TEST(VerifyDeadlock, CrossRoundMessagingInTheRightDirectionIsClean) {
+  // Posting early and receiving late is fine; only the inversion deadlocks.
+  Schedule s = blank(2, 4);
+  add_message(s, 0, 0, Region{0, 2}, 1, 1, Region{2, 2});
+  add_message(s, 1, 0, Region{0, 2}, 0, 1, Region{2, 2});
+  EXPECT_TRUE(analyze(s).clean());
+}
+
+TEST(VerifyDeadlock, ExecutorBackstopCarriesTheCycleTrace) {
+  simmpi::DataExecutor exec(round_inversion(), simmpi::Preverify::OnDeadlock);
+  try {
+    exec.run();
+    FAIL() << "deadlocking schedule ran to completion";
+  } catch (const invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("message 0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VerifyDeadlock, UpfrontPreverifyRejectsAtConstruction) {
+  EXPECT_THROW(
+      simmpi::DataExecutor(round_inversion(), simmpi::Preverify::Upfront),
+      invalid_argument);
+}
+
+// ---- Adversarial: write races ----------------------------------------------
+
+TEST(VerifyRace, OverlappingReplaceReceivesAreRejected) {
+  Schedule s = blank(3, 8);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4});
+  add_message(s, 2, 0, Region{0, 2}, 1, 0, Region{6, 2});  // overlaps [4,8)
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Race);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->rank, 1);
+  EXPECT_EQ(d->round, 0);
+  EXPECT_NE(d->text.find("message 0"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("message 1"), std::string::npos) << d->text;
+}
+
+TEST(VerifyRace, OverlappingCommutativeReceivesAreAllowed) {
+  Schedule s = blank(3, 8);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4}, Combine::Sum);
+  add_message(s, 2, 0, Region{0, 4}, 1, 0, Region{4, 4}, Combine::Sum);
+  EXPECT_TRUE(analyze(s).clean());
+}
+
+TEST(VerifyRace, MixedCombinesOnOverlapAreRejected) {
+  // sum-then-replace vs replace-then-sum differ: order-dependent.
+  Schedule s = blank(3, 8);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4}, Combine::Sum);
+  add_message(s, 2, 0, Region{0, 4}, 1, 0, Region{4, 4}, Combine::Replace);
+  EXPECT_TRUE(has(analyze(s), Severity::Error, Check::Race));
+}
+
+TEST(VerifyRace, CopyIntoAPostedReceiveBufferIsRejected) {
+  Schedule s = blank(2, 8);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4});
+  round_of(s, 1, 0).copies.push_back(
+      CopyOp{Region{0, 2}, Region{5, 2}, Combine::Replace});
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Race);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->rank, 1);
+  EXPECT_NE(d->text.find("copy"), std::string::npos) << d->text;
+}
+
+TEST(VerifyRace, OverlappingLocalCopiesOnlyWarn) {
+  Schedule s = blank(1, 16);
+  round_of(s, 0, 0).copies.push_back(
+      CopyOp{Region{0, 4}, Region{8, 4}, Combine::Replace});
+  round_of(s, 0, 0).copies.push_back(
+      CopyOp{Region{2, 4}, Region{10, 4}, Combine::Replace});
+  const Report report = analyze(s);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(has(report, Severity::Warning, Check::Race))
+      << report.to_string();
+}
+
+TEST(VerifyRace, DisjointSameRoundWritesAreClean) {
+  Schedule s = blank(3, 16);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4});
+  add_message(s, 2, 0, Region{0, 4}, 1, 0, Region{8, 4});
+  EXPECT_TRUE(analyze(s).clean());
+}
+
+// ---- Adversarial: conservation & structure ---------------------------------
+
+TEST(VerifyConservation, ByteCountMismatchNamesTheMessage) {
+  Schedule s = blank(2, 8);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{0, 2});
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Conservation);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->msg, 0);
+  EXPECT_NE(d->text.find("32 B"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("16 B"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("not conserved"), std::string::npos) << d->text;
+}
+
+TEST(VerifyConservation, DoubleSendNamesRankAndMessage) {
+  Schedule s = blank(2, 8);
+  const auto id = add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4});
+  round_of(s, 0, 1).sends.push_back(simmpi::SendOp{id});
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Conservation);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->msg, 0);
+  EXPECT_NE(d->text.find("2 times"), std::string::npos) << d->text;
+  EXPECT_NE(d->text.find("rank 0"), std::string::npos) << d->text;
+}
+
+TEST(VerifyConservation, DroppedPayloadIsRejected) {
+  Schedule s = blank(2, 8);
+  add_message(s, 0, 0, Region{0, 4}, 1, 0, Region{4, 4});
+  s.programs[1].rounds[0].recvs.clear();  // payload is never received
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has(report, Severity::Error, Check::Conservation))
+      << report.to_string();
+}
+
+TEST(VerifyStructure, OutOfArenaRegionNamesTheMessage) {
+  Schedule s = blank(2, 8);
+  add_message(s, 0, 0, Region{6, 4}, 1, 0, Region{4, 4});  // [6,10) > 8
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Structure);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->msg, 0);
+  EXPECT_NE(d->text.find("arena"), std::string::npos) << d->text;
+}
+
+TEST(VerifyStructure, DanglingMessageReferenceShortCircuits) {
+  Schedule s = blank(2, 8);
+  round_of(s, 0, 0).sends.push_back(simmpi::SendOp{7});
+  const Report report = analyze(s);
+  EXPECT_FALSE(report.clean());
+  const Diagnostic* d = first(report, Check::Structure);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->text.find("unknown message 7"), std::string::npos) << d->text;
+  // Deeper passes must not run on a schedule they cannot index safely.
+  EXPECT_FALSE(has(report, Severity::Error, Check::Deadlock));
+}
+
+TEST(VerifyStructure, SelfMessageOnlyWarns) {
+  Schedule s = blank(2, 8);
+  add_message(s, 0, 0, Region{0, 4}, 0, 0, Region{4, 4});
+  const Report report = analyze(s);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(has(report, Severity::Warning, Check::Structure))
+      << report.to_string();
+}
+
+// ---- Liveness lints --------------------------------------------------------
+
+TEST(VerifyDataflow, FullyOverwrittenUnreadWriteIsDead) {
+  Schedule s = blank(1, 8);
+  round_of(s, 0, 0).copies.push_back(
+      CopyOp{Region{0, 2}, Region{4, 2}, Combine::Replace});
+  round_of(s, 0, 1).copies.push_back(
+      CopyOp{Region{2, 2}, Region{4, 2}, Combine::Replace});
+  const Report report = analyze(s);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  const Diagnostic* d = first(report, Check::DeadWrite);
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->rank, 0);
+  EXPECT_EQ(d->round, 0);
+}
+
+TEST(VerifyDataflow, ReadOrPartialSurvivalKeepsAWriteAlive) {
+  // Same shape, but the first write is read before being overwritten.
+  Schedule s = blank(2, 8);
+  round_of(s, 0, 0).copies.push_back(
+      CopyOp{Region{0, 2}, Region{4, 2}, Combine::Replace});
+  add_message(s, 0, 1, Region{4, 2}, 1, 1, Region{0, 2});  // reads [4,6)
+  round_of(s, 0, 2).copies.push_back(
+      CopyOp{Region{2, 2}, Region{4, 2}, Combine::Replace});
+  const Report report = analyze(s);
+  EXPECT_FALSE(has(report, Severity::Warning, Check::DeadWrite))
+      << report.to_string();
+}
+
+TEST(VerifyDataflow, AccumulatingOverwriteReadsThePreviousValue) {
+  // A Sum combine consumes the previous contents: not a dead write.
+  Schedule s = blank(1, 8);
+  round_of(s, 0, 0).copies.push_back(
+      CopyOp{Region{0, 2}, Region{4, 2}, Combine::Replace});
+  round_of(s, 0, 1).copies.push_back(
+      CopyOp{Region{2, 2}, Region{4, 2}, Combine::Sum});
+  EXPECT_FALSE(has(analyze(s), Severity::Warning, Check::DeadWrite));
+}
+
+TEST(VerifyDataflow, InputInferenceFollowsOptions) {
+  Schedule s = blank(1, 8);
+  round_of(s, 0, 0).copies.push_back(
+      CopyOp{Region{0, 2}, Region{4, 2}, Combine::Replace});
+
+  EXPECT_TRUE(analyze(s).diagnostics.empty());  // inputs assumed initialised
+
+  Options report_inputs;
+  report_inputs.report_inputs = true;
+  const Report inputs = analyze(s, report_inputs);
+  const Diagnostic* d = first(inputs, Check::UninitRead);
+  ASSERT_NE(d, nullptr) << inputs.to_string();
+  EXPECT_EQ(d->severity, Severity::Info);
+  EXPECT_NE(d->text.find("[0, 2)"), std::string::npos) << d->text;
+
+  Options strict;
+  strict.assume_inputs_initialized = false;
+  const Report uninit = analyze(s, strict);
+  EXPECT_TRUE(has(uninit, Severity::Warning, Check::UninitRead))
+      << uninit.to_string();
+}
+
+// ---- Report plumbing -------------------------------------------------------
+
+TEST(VerifyReport, SummaryCountsAndSuppression) {
+  // p overlapping Replace receives on one rank: O(p^2) conflicts, far more
+  // than the diagnostic cap.
+  Schedule s = blank(9, 64);
+  for (std::int32_t src = 1; src < 9; ++src) {
+    add_message(s, src, 0, Region{0, 8}, 0, 0, Region{8, 8});
+  }
+  Options options;
+  options.max_diagnostics = 4;
+  const Report report = analyze(s, options);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.diagnostics.size(), 5u);  // 4 kept + the suppression note
+  EXPECT_NE(report.to_string().find("suppressed"), std::string::npos);
+  EXPECT_NE(report.summary().find("errors"), std::string::npos);
+}
+
+TEST(VerifyReport, DiagnosticToStringCarriesLocations) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.check = Check::Race;
+  d.rank = 3;
+  d.round = 2;
+  d.msg = 7;
+  d.text = "boom";
+  EXPECT_EQ(d.to_string(), "error[race] rank 3 round 2 msg 7: boom");
+}
+
+TEST(VerifyReport, EmptyScheduleIsClean) {
+  const Report report = analyze(blank(1, 0));
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace mr::verify

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run clang-tidy (profile: .clang-tidy) over the library, example, bench and
+# test sources. Skips gracefully when clang-tidy is not installed so the
+# script can sit in CI pipelines whose images only carry gcc.
+#
+#   tools/lint.sh [build-dir]
+#
+# The build dir (default: build-tidy) is configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS so clang-tidy sees the real compile flags.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-tidy}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+cmake -S "$repo" -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+mapfile -t sources < <(
+  find "$repo/src" "$repo/examples" "$repo/bench" "$repo/tests" -name '*.cpp' |
+  sort
+)
+
+echo "lint.sh: clang-tidy over ${#sources[@]} files"
+status=0
+for file in "${sources[@]}"; do
+  clang-tidy -p "$build" --quiet "$file" || status=1
+done
+exit "$status"
