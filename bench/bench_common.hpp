@@ -10,20 +10,24 @@
 #include <vector>
 
 #include "mixradix/harness/microbench.hpp"
+#include "mixradix/simmpi/plan_cache.hpp"
 #include "mixradix/util/thread_pool.hpp"
 
 namespace bench {
 
 /// Parse "--max-size=<bytes>" / "--reps=<n>" / "--threads=<n>" /
-/// "--csv=<path>" flags; the defaults reproduce the paper's axes but can
-/// be shrunk for smoke runs. Threads defaults to 0 = auto (the
-/// MIXRADIX_THREADS environment variable when set, else
-/// hardware_concurrency); "--threads=1" forces the serial path. Output is
-/// identical for every thread count.
+/// "--csv=<path>" / "--no-plan-cache" flags; the defaults reproduce the
+/// paper's axes but can be shrunk for smoke runs. Threads defaults to 0 =
+/// auto (the MIXRADIX_THREADS environment variable when set, else
+/// hardware_concurrency); "--threads=1" forces the serial path.
+/// "--no-plan-cache" recompiles every (order, size) point instead of
+/// sharing plans through PlanCache::shared(). Output is identical for
+/// every thread count and for either cache setting.
 struct Options {
   std::int64_t max_size = 512ll << 20;
   int repetitions = 2;
   int threads = 0;  ///< 0 = auto; passed through to SweepConfig::threads.
+  bool no_plan_cache = false;  ///< --no-plan-cache: compile per point.
   std::string csv_path;
 
   /// Number of workers after resolving 0 = auto.
@@ -46,10 +50,13 @@ struct Options {
         o.threads = static_cast<int>(parse_int(arg, arg.substr(10), 1));
       } else if (arg.rfind("--csv=", 0) == 0) {
         o.csv_path = arg.substr(6);
+      } else if (arg == "--no-plan-cache") {
+        o.no_plan_cache = true;
       } else {
         throw std::invalid_argument(
             "unknown flag: " + arg +
-            " (known: --max-size=B --reps=N --threads=N --csv=PATH)");
+            " (known: --max-size=B --reps=N --threads=N --csv=PATH "
+            "--no-plan-cache)");
       }
     }
     return o;
@@ -93,6 +100,15 @@ inline void emit(const std::string& figure, const Options& opts,
                  const std::vector<mr::harness::SweepSeries>& simultaneous,
                  const std::string& title) {
   mr::harness::print_figure(std::cout, title, single, simultaneous);
+  if (opts.no_plan_cache) {
+    std::cout << "plan cache: bypassed (--no-plan-cache)\n";
+  } else {
+    const auto stats = mr::simmpi::PlanCache::shared().stats();
+    std::cout << "plan cache: " << stats.entries << " plans, " << stats.hits
+              << " hits / " << stats.misses << " compiles ("
+              << static_cast<int>(stats.hit_rate() * 100.0 + 0.5)
+              << "% hit rate)\n";
+  }
   if (!opts.csv_path.empty()) {
     std::ofstream csv(opts.csv_path);
     mr::harness::write_figure_csv(csv, figure, single, simultaneous);

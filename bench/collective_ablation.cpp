@@ -20,14 +20,15 @@ namespace {
 
 using namespace mr;
 
-double run_orders(const topo::Machine& machine, const simmpi::Schedule& coll,
+double run_orders(const topo::Machine& machine,
+                  const std::shared_ptr<const simmpi::Plan>& coll,
                   const Order& order, std::int64_t comm_size, bool all) {
   const auto placement = placement_of_new_ranks(machine.hierarchy(), order);
   const std::int64_t ncomms = all ? machine.cores() / comm_size : 1;
-  std::vector<simmpi::JobSpec> jobs;
+  std::vector<simmpi::PlanJob> jobs;
   for (std::int64_t k = 0; k < ncomms; ++k) {
-    simmpi::JobSpec job;
-    job.schedule = &coll;
+    simmpi::PlanJob job;
+    job.plan = coll;
     for (std::int64_t j = 0; j < comm_size; ++j) {
       job.core_of_rank.push_back(
           placement[static_cast<std::size_t>(k * comm_size + j)]);
@@ -38,7 +39,11 @@ double run_orders(const topo::Machine& machine, const simmpi::Schedule& coll,
 }
 
 void report(const topo::Machine& machine, const char* name,
-            const simmpi::Schedule& coll) {
+            simmpi::Schedule schedule) {
+  // One compiled plan shared by all four (order, all) cells and every
+  // communicator job within each cell.
+  const auto coll = std::make_shared<const simmpi::Plan>(
+      simmpi::make_plan(std::move(schedule), 1, name));
   const Order spread = parse_order("0-1-2-3");
   const Order packed = parse_order("3-2-1-0");
   std::cout << "  " << std::left << std::setw(30) << name;

@@ -27,12 +27,13 @@ using namespace mr;
 
 /// Jobs for one half of the machine: communicators of `comm_size` over the
 /// cores listed in `cores` (block-partitioned in the given sequence).
-void add_jobs(std::vector<simmpi::JobSpec>& jobs, const simmpi::Schedule& coll,
+void add_jobs(std::vector<simmpi::PlanJob>& jobs,
+              const std::shared_ptr<const simmpi::Plan>& coll,
               const std::vector<std::int64_t>& cores, std::int64_t comm_size) {
   for (std::size_t base = 0; base + comm_size <= cores.size();
        base += comm_size) {
-    simmpi::JobSpec job;
-    job.schedule = &coll;
+    simmpi::PlanJob job;
+    job.plan = coll;
     job.core_of_rank.assign(cores.begin() + static_cast<std::ptrdiff_t>(base),
                             cores.begin() + static_cast<std::ptrdiff_t>(base + comm_size));
     jobs.push_back(std::move(job));
@@ -60,8 +61,12 @@ int main() {
 
   // Busy half: 256 KB collectives in every communicator. Idle half: two
   // 8 MB collectives with six of eight nodes' worth of cores unused.
-  const simmpi::Schedule busy = simmpi::alltoall_pairwise(16, 2048);
-  const simmpi::Schedule sparse = simmpi::alltoall_pairwise(8, 262144);
+  // Compiled once, shared by every config's jobs (the configs only change
+  // the rank->core bindings, never the plans).
+  const auto busy = std::make_shared<const simmpi::Plan>(
+      simmpi::make_plan(simmpi::alltoall_pairwise(16, 2048), 1, "busy_alltoall"));
+  const auto sparse = std::make_shared<const simmpi::Plan>(simmpi::make_plan(
+      simmpi::alltoall_pairwise(8, 262144), 1, "sparse_alltoall"));
 
   struct Config {
     const char* name;
@@ -87,7 +92,7 @@ int main() {
   mr::util::ThreadPool::shared().parallel_for(
       configs.size(), [&](std::size_t c) {
         const auto& config = configs[c];
-        std::vector<simmpi::JobSpec> jobs;
+        std::vector<simmpi::PlanJob> jobs;
         add_jobs(jobs, busy, half_cores(half, config.alltoall_order, 0), 16);
         // Only the first communicator of the idle half exists.
         auto sparse_cores = half_cores(half, config.allreduce_order, offset);

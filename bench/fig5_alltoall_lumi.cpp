@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   config.collective = mr::simmpi::Collective::Alltoall;
   config.repetitions = opts.repetitions;
   config.threads = opts.threads;
+  config.use_plan_cache = !opts.no_plan_cache;
 
   config.all_comms = false;
   const auto single = run_sweep(machine, config);

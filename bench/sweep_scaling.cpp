@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   config.comm_size = 16;
   config.collective = mr::simmpi::Collective::Alltoall;
   config.repetitions = opts.repetitions;
+  config.use_plan_cache = !opts.no_plan_cache;
 
   const int threads = opts.resolved_threads();
   const std::size_t points = 2 * config.orders.size() * config.sizes.size();

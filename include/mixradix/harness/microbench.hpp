@@ -29,6 +29,12 @@ struct MicrobenchConfig {
   std::int64_t total_bytes = 0;
   bool all_comms = false;  ///< false: first subcommunicator only.
   int repetitions = 2;     ///< back-to-back operations per communicator.
+  /// Resolve the compiled plan through PlanCache::shared() (one compile —
+  /// and, in verifying builds, one static analysis — per distinct
+  /// (algorithm, p, count, root, repetitions) key across the whole
+  /// process). false compiles privately per call; the results must be
+  /// byte-identical either way.
+  bool use_plan_cache = true;
 };
 
 struct MicrobenchResult {
@@ -63,6 +69,9 @@ struct SweepConfig {
   /// Results are merged in input order, so the output is bit-identical
   /// for every thread count.
   int threads = 0;
+  /// Forwarded to MicrobenchConfig::use_plan_cache: h! orders share one
+  /// compiled plan per size instead of recompiling per (order, size) point.
+  bool use_plan_cache = true;
 };
 
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,

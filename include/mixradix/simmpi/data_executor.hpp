@@ -8,8 +8,10 @@
 // overwritten by a receive in the same round.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "mixradix/simmpi/plan.hpp"
 #include "mixradix/simmpi/schedule.hpp"
 
 namespace mr::simmpi {
@@ -35,6 +37,13 @@ class DataExecutor {
   explicit DataExecutor(Schedule schedule,
                         Preverify preverify = kDefaultPreverify);
 
+  /// Compiled-plan flavour: repetitions > 1 are materialized (data
+  /// semantics need the real repeated rounds), and the plan's embedded
+  /// static-analysis report — proved once at compile time — satisfies the
+  /// Preverify modes without re-running the analyzer.
+  explicit DataExecutor(const std::shared_ptr<const Plan>& plan,
+                        Preverify preverify = kDefaultPreverify);
+
   /// Mutable arena of `rank` (size = schedule.arena_size), for initialising
   /// inputs before run() and reading outputs after.
   std::vector<double>& arena(std::int32_t rank);
@@ -47,6 +56,9 @@ class DataExecutor {
   void run();
 
  private:
+  /// Shared tail of both constructors; `compile_report` is the plan's
+  /// embedded analysis (nullptr when absent or not reusable).
+  void init(const verify::Report* compile_report);
   bool round_ready(std::int32_t rank) const;
   void execute_round(std::int32_t rank);
 

@@ -1,0 +1,46 @@
+// The algorithm registry: every collective algorithm the library can
+// compile to a Schedule, as one table of (name, support predicate,
+// generator fn). This is the single source of truth three layers share:
+//
+//  * the selector (make_collective) resolves the name its selection rule
+//    picked into a generator — no string-compare dispatch chain;
+//  * plan compilation (mixradix/simmpi/plan.hpp) turns a registry name
+//    into an immutable Plan, memoized by the PlanCache;
+//  * the verify generator matrix builds its test cross product from this
+//    table and only adds the repeat/concat/merge composition shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mixradix/simmpi/schedule.hpp"
+
+namespace mr::simmpi {
+
+struct AlgorithmInfo {
+  const char* name;
+  /// Rooted collectives consume the root argument; the rest ignore it.
+  bool rooted;
+  /// Which communicator sizes the generator supports (e.g. recursive
+  /// doubling allgather needs a power of two).
+  bool (*supported)(std::int32_t p);
+  /// Pure generator: rank ids are communicator ranks, `count` follows the
+  /// collective's own convention (doubles).
+  Schedule (*make)(std::int32_t p, std::int64_t count, std::int32_t root);
+};
+
+/// Every registered algorithm, in a stable order.
+const std::vector<AlgorithmInfo>& algorithm_registry();
+
+/// Registry entry for `name`, nullptr when unknown.
+const AlgorithmInfo* find_algorithm(std::string_view name);
+
+/// Instantiate algorithm `name` for `p` ranks. Throws mr::invalid_argument
+/// for unknown names, unsupported (name, p) combinations, non-positive
+/// counts, and out-of-range roots.
+Schedule make_algorithm(const std::string& name, std::int32_t p,
+                        std::int64_t count, std::int32_t root = 0);
+
+}  // namespace mr::simmpi

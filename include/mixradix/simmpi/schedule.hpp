@@ -119,8 +119,31 @@ class ScheduleBuilder {
   Schedule schedule_;
 };
 
+namespace detail {
+
+/// RAII marker set by plan compilation (mixradix/simmpi/plan.hpp) while it
+/// generates schedules on this thread. In MIXRADIX_VERIFY_SCHEDULES builds,
+/// ScheduleBuilder::build() then skips its per-build static analysis:
+/// compile_plan analyzes the finished plan exactly once instead, so a
+/// memoized plan costs one verify::analyze per distinct key, not one per
+/// intermediate build(). Nests safely.
+class PlanCompileScope {
+ public:
+  PlanCompileScope() noexcept;
+  ~PlanCompileScope();
+  PlanCompileScope(const PlanCompileScope&) = delete;
+  PlanCompileScope& operator=(const PlanCompileScope&) = delete;
+};
+
+/// True while a PlanCompileScope is live on this thread.
+bool plan_compile_active() noexcept;
+
+}  // namespace detail
+
 /// Back-to-back repetition of a schedule (steady-state measurements):
-/// ranks run `times` copies of their program sequentially.
+/// ranks run `times` copies of their program sequentially. Prefer a Plan
+/// with a repetition count (mixradix/simmpi/plan.hpp) for execution — it
+/// loops over one copy of the IR instead of materializing `times` copies.
 Schedule repeat(const Schedule& schedule, int times);
 
 /// Sequential composition: all schedules must have the same nranks; each

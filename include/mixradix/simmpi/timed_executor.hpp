@@ -1,9 +1,13 @@
-// TimedExecutor: replays communication schedules on the flow-level network
+// TimedExecutor: replays compiled plans on the flow-level network
 // simulator to produce durations under contention.
 //
 // Several jobs (e.g. one collective per subcommunicator) run simultaneously
-// against one machine; each job binds its schedule's communicator ranks to
-// machine cores. Messages follow a LogGP-flavoured model:
+// against one machine; each job binds its plan's communicator ranks to
+// machine cores. The engine consumes the plan's precomputed execution CSR
+// (mixradix/simmpi/plan.hpp) — per-round op ranges, cost inputs, message
+// byte counts — and executes the plan's repetition count as a loop over
+// virtual message ids, so steady-state measurements never materialize
+// repeated copies of the schedule. Messages follow a LogGP-flavoured model:
 //   * per-round CPU serialisation: compute time + per-message send/recv
 //     overheads + local copy costs;
 //   * eager messages (<= eager_threshold bytes) start their network flow as
@@ -15,18 +19,29 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "mixradix/simmpi/plan.hpp"
 #include "mixradix/simmpi/schedule.hpp"
 #include "mixradix/simnet/flow_sim.hpp"
 #include "mixradix/topo/machine.hpp"
 
 namespace mr::simmpi {
 
-/// One communicator's collective bound to machine cores.
+/// One communicator's compiled plan bound to machine cores.
+struct PlanJob {
+  std::shared_ptr<const Plan> plan;
+  /// core_of_rank[r] = machine core hosting the plan's rank r.
+  std::vector<std::int64_t> core_of_rank;
+  double start_time = 0;
+};
+
+/// Legacy binding of a raw schedule (no repetition loop); run_timed wraps
+/// it in an ad-hoc single-repetition plan. Prefer PlanJob — compiled plans
+/// amortize the execution-structure derivation across jobs.
 struct JobSpec {
   const Schedule* schedule = nullptr;
-  /// core_of_rank[r] = machine core hosting the schedule's rank r.
   std::vector<std::int64_t> core_of_rank;
   double start_time = 0;
 };
@@ -34,7 +49,7 @@ struct JobSpec {
 struct TimedResult {
   double makespan = 0;              ///< completion time of the last job.
   std::vector<double> job_finish;   ///< per job, absolute completion time.
-  std::int64_t total_messages = 0;
+  std::int64_t total_messages = 0;  ///< counts every executed repetition.
   std::int64_t total_flow_events = 0;
   simnet::FlowSim::Stats flow_stats;  ///< network-simulator event counters.
 };
@@ -47,7 +62,15 @@ struct TimedResult {
 /// for exact max-min timing.
 inline constexpr double kDefaultCompletionSlack = 0.02;
 
-/// Run all jobs to completion; deterministic for identical inputs.
+/// Run all plan jobs to completion; deterministic for identical inputs.
+/// Timing is bit-identical to executing the materialized repeat() of each
+/// plan's schedule.
+TimedResult run_timed(const topo::Machine& machine,
+                      const std::vector<PlanJob>& jobs,
+                      double completion_slack = kDefaultCompletionSlack);
+
+/// Legacy schedule-pointer entry point; validates each schedule and wraps
+/// it in a single-repetition plan.
 TimedResult run_timed(const topo::Machine& machine,
                       const std::vector<JobSpec>& jobs,
                       double completion_slack = kDefaultCompletionSlack);
@@ -57,5 +80,10 @@ TimedResult run_timed(const topo::Machine& machine,
 double run_timed_single(const topo::Machine& machine, const Schedule& schedule,
                         std::vector<std::int64_t> core_of_rank,
                         double completion_slack = kDefaultCompletionSlack);
+
+/// Plan flavour of run_timed_single.
+double run_timed_plan_single(const topo::Machine& machine, const Plan& plan,
+                             std::vector<std::int64_t> core_of_rank,
+                             double completion_slack = kDefaultCompletionSlack);
 
 }  // namespace mr::simmpi

@@ -98,4 +98,9 @@ std::ostream& operator<<(std::ostream& os, const Report& report);
 /// structure/conservation findings.
 Report analyze(const simmpi::Schedule& schedule, const Options& options = {});
 
+/// Process-wide number of analyze() invocations so far. Tests and benches
+/// use deltas of this counter to prove the plan cache runs the analyzer at
+/// most once per distinct plan key.
+std::uint64_t analyze_call_count();
+
 }  // namespace mr::verify

@@ -115,10 +115,14 @@ CgResult simulate_cg(const topo::Machine& machine, const CgClass& klass,
     return result;
   }
 
-  const simmpi::Schedule schedule =
-      cg_schedule(klass, p, compute, sim_inner_iters);
+  // Compile one inner iteration and loop it: cg_schedule appends identical
+  // structure per iteration, so the plan repetition count reproduces
+  // cg_schedule(..., sim_inner_iters) exactly without materializing it.
+  MR_EXPECT(sim_inner_iters >= 1, "need at least one iteration");
+  const simmpi::Plan plan = simmpi::make_plan(
+      cg_schedule(klass, p, compute, 1), sim_inner_iters, "npb_cg_inner");
   const double simulated =
-      simmpi::run_timed_single(machine, schedule, core_list);
+      simmpi::run_timed_plan_single(machine, plan, core_list);
   result.seconds = simulated * total_inner / sim_inner_iters;
   result.comm_seconds = std::max(0.0, result.seconds - result.compute_seconds);
   return result;

@@ -146,22 +146,25 @@ CpdResult simulate_cpd_placement(const topo::Machine& machine,
   MR_EXPECT(static_cast<std::int64_t>(core_of_rank.size()) == machine.cores(),
             "need one core per rank");
 
-  const simmpi::Schedule block =
-      cpd_iteration_schedule(machine, spec, grid, config);
-  const simmpi::Schedule run = simmpi::repeat(block, config.sim_iterations);
+  // One compiled mode block, looped sim_iterations times by the executor —
+  // no materialized repeat() copies of the IR.
+  const simmpi::Plan run =
+      simmpi::make_plan(cpd_iteration_schedule(machine, spec, grid, config),
+                        config.sim_iterations, "cpd_mode_block");
   // 3 mode blocks per iteration, `iterations` iterations.
   const double scale =
       3.0 * static_cast<double>(config.iterations) / config.sim_iterations;
 
   CpdResult result;
   result.seconds =
-      simmpi::run_timed_single(machine, run, core_of_rank) * scale;
+      simmpi::run_timed_plan_single(machine, run, core_of_rank) * scale;
 
   // The 16-process-layer alltoallv portion alone, for the §4.2 correlation.
-  const simmpi::Schedule comm_sched = simmpi::repeat(
-      mode_alltoallv(spec, grid, 0, config.factor_rank), config.sim_iterations);
+  const simmpi::Plan comm_plan = simmpi::make_plan(
+      mode_alltoallv(spec, grid, 0, config.factor_rank), config.sim_iterations,
+      "cpd_mode_alltoallv");
   result.alltoallv_seconds =
-      simmpi::run_timed_single(machine, comm_sched, core_of_rank) * scale;
+      simmpi::run_timed_plan_single(machine, comm_plan, core_of_rank) * scale;
 
   result.compute_seconds =
       3.0 * mttkrp_seconds(machine, spec, grid.nprocs(), config.factor_rank) *

@@ -3,6 +3,7 @@
 
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/mr/decompose.hpp"
+#include "mixradix/simmpi/plan_cache.hpp"
 #include "mixradix/simmpi/timed_executor.hpp"
 #include "mixradix/util/expect.hpp"
 
@@ -30,9 +31,19 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
 
   const std::int64_t count = count_for(config.total_bytes, config.comm_size);
   const auto p = static_cast<std::int32_t>(config.comm_size);
-  const simmpi::Schedule once = simmpi::make_collective(
-      config.collective, p, count, machine.costs().eager_threshold);
-  const simmpi::Schedule schedule = simmpi::repeat(once, config.repetitions);
+  // The plan depends only on (algorithm, p, count, repetitions) — never on
+  // the order — so every h! enumeration order of a sweep shares one cached
+  // compile. Repetitions are a plan loop count, not a materialized repeat().
+  const simmpi::PlanKey key{
+      simmpi::selected_algorithm(config.collective, p, count,
+                                 machine.costs().eager_threshold),
+      p, count, /*root=*/0, config.repetitions};
+  const std::shared_ptr<const simmpi::Plan> plan =
+      config.use_plan_cache
+          ? simmpi::PlanCache::shared().get(key)
+          : std::make_shared<const simmpi::Plan>(simmpi::compile_plan(
+                key.algorithm, key.nranks, key.count, key.root,
+                key.repetitions));
 
   // Step 1+2 of the protocol: reorder, then carve consecutive blocks of
   // reordered ranks; communicator k's rank j sits on the core that carries
@@ -41,11 +52,11 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
   const std::int64_t ncomms =
       config.all_comms ? h.total() / config.comm_size : 1;
 
-  std::vector<simmpi::JobSpec> jobs;
+  std::vector<simmpi::PlanJob> jobs;
   jobs.reserve(static_cast<std::size_t>(ncomms));
   for (std::int64_t k = 0; k < ncomms; ++k) {
-    simmpi::JobSpec job;
-    job.schedule = &schedule;
+    simmpi::PlanJob job;
+    job.plan = plan;
     job.core_of_rank.resize(static_cast<std::size_t>(config.comm_size));
     for (std::int64_t j = 0; j < config.comm_size; ++j) {
       job.core_of_rank[static_cast<std::size_t>(j)] =
@@ -80,8 +91,7 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
   };
   result.bw_p10 = decile(0.1);
   result.bw_p90 = decile(0.9);
-  result.algorithm = simmpi::selected_algorithm(config.collective, p, count,
-                                                machine.costs().eager_threshold);
+  result.algorithm = plan->algorithm;
   return result;
 }
 

@@ -48,6 +48,7 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
     mb.total_bytes = config.sizes[si];
     mb.all_comms = config.all_comms;
     mb.repetitions = config.repetitions;
+    mb.use_plan_cache = config.use_plan_cache;
     out[oi].results[si] = run_microbench(machine, mb);
   };
 

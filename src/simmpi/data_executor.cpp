@@ -31,12 +31,35 @@ void combine_into(Combine combine, const double* src, double* dst,
 
 DataExecutor::DataExecutor(Schedule schedule, Preverify preverify)
     : schedule_(std::move(schedule)), preverify_(preverify) {
+  init(nullptr);
+}
+
+DataExecutor::DataExecutor(const std::shared_ptr<const Plan>& plan,
+                           Preverify preverify)
+    : preverify_(preverify) {
+  MR_EXPECT(plan != nullptr, "executor without plan");
+  schedule_ = plan->repetitions == 1
+                  ? plan->schedule
+                  : repeat(plan->schedule, plan->repetitions);
+  // The embedded report covers the single-repetition schedule only; a
+  // materialized repeat is re-analyzed like any other schedule.
+  init(plan->repetitions == 1 ? plan->report.get() : nullptr);
+}
+
+void DataExecutor::init(const verify::Report* compile_report) {
   const std::string error = schedule_.validate();
   MR_EXPECT(error.empty(), "malformed schedule: " + error);
   if (preverify_ == Preverify::Upfront) {
-    const verify::Report report = verify::analyze(schedule_);
-    MR_EXPECT(report.clean(),
-              "schedule fails static verification:\n" + report.to_string());
+    if (compile_report != nullptr) {
+      // Proved once at plan compile time; no second analyzer pass.
+      MR_EXPECT(compile_report->clean(),
+                "schedule fails static verification:\n" +
+                    compile_report->to_string());
+    } else {
+      const verify::Report report = verify::analyze(schedule_);
+      MR_EXPECT(report.clean(),
+                "schedule fails static verification:\n" + report.to_string());
+    }
   }
   arenas_.assign(static_cast<std::size_t>(schedule_.nranks),
                  std::vector<double>(static_cast<std::size_t>(schedule_.arena_size), 0.0));

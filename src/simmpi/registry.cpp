@@ -1,0 +1,135 @@
+#include "mixradix/simmpi/registry.hpp"
+
+#include "mixradix/simmpi/collectives.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::simmpi {
+
+namespace {
+
+bool any_p(std::int32_t) { return true; }
+bool power_of_two_p(std::int32_t p) { return p > 0 && (p & (p - 1)) == 0; }
+
+/// Canonical deterministic non-uniform counts matrix for alltoallv,
+/// including zero entries (the generator's trickiest case). Formerly the
+/// verify generator matrix's private fixture; registered here so every
+/// consumer exercises the same shape.
+std::vector<std::vector<std::int64_t>> v_counts(std::int32_t p,
+                                                std::int64_t count) {
+  const std::int64_t unit = (count + 3) / 4;
+  std::vector<std::vector<std::int64_t>> counts(static_cast<std::size_t>(p));
+  for (std::int32_t i = 0; i < p; ++i) {
+    auto& row = counts[static_cast<std::size_t>(i)];
+    row.resize(static_cast<std::size_t>(p));
+    for (std::int32_t j = 0; j < p; ++j) {
+      row[static_cast<std::size_t>(j)] = ((i + 2 * j) % 4) * unit;
+    }
+  }
+  return counts;
+}
+
+const std::vector<AlgorithmInfo>& entries() {
+  static const std::vector<AlgorithmInfo> kEntries = {
+      {"alltoall_pairwise", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return alltoall_pairwise(p, c);
+       }},
+      {"alltoall_bruck", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return alltoall_bruck(p, c);
+       }},
+      {"alltoall_linear", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return alltoall_linear(p, c);
+       }},
+      {"allgather_ring", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return allgather_ring(p, c);
+       }},
+      {"allgather_recursive_doubling", false, power_of_two_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return allgather_recursive_doubling(p, c);
+       }},
+      {"allgather_bruck", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return allgather_bruck(p, c);
+       }},
+      {"allreduce_recursive_doubling", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return allreduce_recursive_doubling(p, c);
+       }},
+      {"allreduce_ring", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return allreduce_ring(p, c);
+       }},
+      {"bcast_binomial", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return bcast_binomial(p, c, root);
+       }},
+      {"bcast_scatter_allgather", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return bcast_scatter_allgather(p, c, root);
+       }},
+      {"reduce_binomial", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return reduce_binomial(p, c, root);
+       }},
+      {"gather_linear", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return gather_linear(p, c, root);
+       }},
+      {"scatter_linear", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return scatter_linear(p, c, root);
+       }},
+      {"scatter_binomial", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return scatter_binomial(p, c, root);
+       }},
+      {"gather_binomial", true, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t root) {
+         return gather_binomial(p, c, root);
+       }},
+      {"reduce_scatter_ring", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return reduce_scatter_ring(p, c);
+       }},
+      {"scan_recursive_doubling", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return scan_recursive_doubling(p, c);
+       }},
+      {"barrier_dissemination", false, any_p,
+       [](std::int32_t p, std::int64_t, std::int32_t) {
+         return barrier_dissemination(p);
+       }},
+      {"alltoallv_pairwise", false, any_p,
+       [](std::int32_t p, std::int64_t c, std::int32_t) {
+         return alltoallv_pairwise(v_counts(p, c));
+       }},
+  };
+  return kEntries;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& algorithm_registry() { return entries(); }
+
+const AlgorithmInfo* find_algorithm(std::string_view name) {
+  for (const AlgorithmInfo& e : entries()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+Schedule make_algorithm(const std::string& name, std::int32_t p,
+                        std::int64_t count, std::int32_t root) {
+  const AlgorithmInfo* e = find_algorithm(name);
+  MR_EXPECT(e != nullptr, "unknown algorithm: " + name);
+  MR_EXPECT(p >= 1 && e->supported(p),
+            name + " does not support p = " + std::to_string(p));
+  MR_EXPECT(count >= 1, "count must be >= 1");
+  MR_EXPECT(root >= 0 && root < p, "root out of range");
+  return e->make(p, count, root);
+}
+
+}  // namespace mr::simmpi

@@ -1,4 +1,5 @@
 #include "mixradix/simmpi/collectives.hpp"
+#include "mixradix/simmpi/registry.hpp"
 #include "src/simmpi/coll_internal.hpp"
 
 namespace mr::simmpi {
@@ -77,33 +78,11 @@ std::string selected_algorithm(Collective kind, std::int32_t p, std::int64_t cou
 
 Schedule make_collective(Collective kind, std::int32_t p, std::int64_t count,
                          std::int64_t eager_threshold, std::int32_t root) {
-  const std::string algo = selected_algorithm(kind, p, count, eager_threshold);
-  if (algo == "alltoall_bruck") return alltoall_bruck(p, count);
-  if (algo == "alltoall_linear") return alltoall_linear(p, count);
-  if (algo == "alltoall_pairwise") return alltoall_pairwise(p, count);
-  if (algo == "allgather_recursive_doubling") {
-    return allgather_recursive_doubling(p, count);
-  }
-  if (algo == "allgather_bruck") return allgather_bruck(p, count);
-  if (algo == "allgather_ring") return allgather_ring(p, count);
-  if (algo == "allreduce_recursive_doubling") {
-    return allreduce_recursive_doubling(p, count);
-  }
-  if (algo == "allreduce_ring") return allreduce_ring(p, count);
-  if (algo == "bcast_binomial") return bcast_binomial(p, count, root);
-  if (algo == "bcast_scatter_allgather") {
-    return bcast_scatter_allgather(p, count, root);
-  }
-  if (algo == "reduce_binomial") return reduce_binomial(p, count, root);
-  if (algo == "reduce_scatter_ring") return reduce_scatter_ring(p, count);
-  if (algo == "gather_linear") return gather_linear(p, count, root);
-  if (algo == "gather_binomial") return gather_binomial(p, count, root);
-  if (algo == "scatter_linear") return scatter_linear(p, count, root);
-  if (algo == "scatter_binomial") return scatter_binomial(p, count, root);
-  if (algo == "scan_recursive_doubling") return scan_recursive_doubling(p, count);
-  if (algo == "barrier_dissemination") return barrier_dissemination(p);
-  MR_ASSERT_INTERNAL(false);
-  return {};
+  // The selection rule picks a registry name; the registry provides the
+  // generator (one source of truth shared with plan compilation and the
+  // verify generator matrix).
+  return make_algorithm(selected_algorithm(kind, p, count, eager_threshold), p,
+                        count, root);
 }
 
 }  // namespace mr::simmpi

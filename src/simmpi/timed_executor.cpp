@@ -15,7 +15,20 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kTimeEps = 1e-15;
 
-/// Global (job, message) key for flow cookies.
+/// One job as the engine sees it: schedule IR + precomputed CSR + loop
+/// count. Built from PlanJobs directly or derived on the fly for legacy
+/// JobSpecs.
+struct JobView {
+  const Schedule* schedule = nullptr;
+  const PlanExec* exec = nullptr;
+  int repetitions = 1;
+  const std::vector<std::int64_t>* core_of_rank = nullptr;
+  double start_time = 0;
+};
+
+/// Global (job, virtual message) key for flow cookies. Virtual message ids
+/// enumerate repetitions: v = rep * messages_per_rep + base_msg, exactly
+/// the ids a materialized repeat() would assign.
 struct MsgKey {
   std::int32_t job;
   std::int32_t msg;
@@ -35,7 +48,7 @@ struct Event {
   double time = 0;
   EventKind kind = EventKind::PostRound;
   std::int32_t job = 0;
-  std::int32_t a = 0;  ///< rank for PostRound, msg for StartFlow.
+  std::int32_t a = 0;  ///< rank for PostRound, virtual msg for StartFlow.
   bool operator>(const Event& other) const { return time > other.time; }
 };
 
@@ -48,41 +61,44 @@ struct MsgState {
 };
 
 struct RankState {
-  std::size_t round = 0;
-  int outstanding = 0;   ///< unfinished sends+recvs of the current round.
+  std::int64_t round = 0;  ///< virtual round: rep * rounds_per_rep + local.
+  int outstanding = 0;     ///< unfinished sends+recvs of the current round.
   bool posted = false;
-  double last_time = 0;  ///< completion time of the last finished op/round.
+  double last_time = 0;    ///< completion time of the last finished op/round.
   bool finished = false;
 };
 
 class Engine {
  public:
-  Engine(const topo::Machine& machine, const std::vector<JobSpec>& jobs,
+  Engine(const topo::Machine& machine, std::vector<JobView> jobs,
          double completion_slack)
       : machine_(machine),
-        jobs_(jobs),
+        jobs_(std::move(jobs)),
         flows_(simnet::channel_capacities(machine), completion_slack) {
-    msg_state_.resize(jobs.size());
-    rank_state_.resize(jobs.size());
-    finish_.assign(jobs.size(), 0.0);
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const JobSpec& job = jobs[j];
-      MR_EXPECT(job.schedule != nullptr, "job without schedule");
-      MR_EXPECT(job.schedule->validate().empty(), "malformed schedule");
-      MR_EXPECT(static_cast<std::int32_t>(job.core_of_rank.size()) ==
+    msg_state_.resize(jobs_.size());
+    rank_state_.resize(jobs_.size());
+    finish_.assign(jobs_.size(), 0.0);
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const JobView& job = jobs_[j];
+      MR_EXPECT(job.repetitions >= 1, "repetition count must be >= 1");
+      MR_EXPECT(static_cast<std::int32_t>(job.core_of_rank->size()) ==
                     job.schedule->nranks,
-                "core binding size must equal the schedule's nranks");
-      for (std::int64_t core : job.core_of_rank) {
+                "core binding size must equal the plan's nranks");
+      for (std::int64_t core : *job.core_of_rank) {
         MR_EXPECT(core >= 0 && core < machine.cores(), "core id out of range");
       }
-      msg_state_[j].assign(job.schedule->messages.size(), MsgState{});
+      const std::int64_t virtual_msgs =
+          static_cast<std::int64_t>(job.schedule->messages.size()) *
+          job.repetitions;
+      MR_EXPECT(virtual_msgs <= std::numeric_limits<std::int32_t>::max(),
+                "repetitions * messages overflows the message id space");
+      msg_state_[j].assign(static_cast<std::size_t>(virtual_msgs), MsgState{});
       rank_state_[j].assign(static_cast<std::size_t>(job.schedule->nranks),
                             RankState{});
       for (std::int32_t r = 0; r < job.schedule->nranks; ++r) {
         push({job.start_time, EventKind::PostRound, static_cast<std::int32_t>(j), r});
       }
-      result_.total_messages +=
-          static_cast<std::int64_t>(job.schedule->messages.size());
+      result_.total_messages += virtual_msgs;
     }
   }
 
@@ -121,71 +137,93 @@ class Engine {
  private:
   void push(Event e) { events_.push(e); }
 
-  const MsgInfo& msg_info(std::int32_t job, std::int32_t msg) const {
-    return jobs_[static_cast<std::size_t>(job)]
-        .schedule->messages[static_cast<std::size_t>(msg)];
+  std::int64_t messages_per_rep(std::int32_t job) const {
+    return static_cast<std::int64_t>(
+        jobs_[static_cast<std::size_t>(job)].schedule->messages.size());
   }
 
-  bool is_eager(const MsgInfo& m) const {
-    return m.bytes() <= machine_.costs().eager_threshold;
+  /// Message metadata of a virtual message id (repetitions share it).
+  const MsgInfo& msg_info(std::int32_t job, std::int32_t msg) const {
+    const JobView& j = jobs_[static_cast<std::size_t>(job)];
+    return j.schedule->messages[static_cast<std::size_t>(
+        msg % messages_per_rep(job))];
+  }
+
+  bool is_eager(std::int32_t job, std::int32_t msg) const {
+    const JobView& j = jobs_[static_cast<std::size_t>(job)];
+    return j.exec->msg_bytes[static_cast<std::size_t>(
+               msg % messages_per_rep(job))] <= machine_.costs().eager_threshold;
   }
 
   std::int64_t core_of(std::int32_t job, std::int32_t rank) const {
-    return jobs_[static_cast<std::size_t>(job)]
-        .core_of_rank[static_cast<std::size_t>(rank)];
+    return (*jobs_[static_cast<std::size_t>(job)]
+                 .core_of_rank)[static_cast<std::size_t>(rank)];
   }
 
-  /// CPU-serial portion of a round: algorithm compute + per-message
-  /// overheads + local copy/reduction costs.
-  double round_cpu_time(const Round& round) const {
+  /// CPU-serial portion of a round, from the plan's precomputed cost
+  /// inputs: algorithm compute + per-message overheads + local copy costs.
+  double round_cpu_time(const PlanExec& exec, std::int64_t round) const {
     const auto& costs = machine_.costs();
-    double cpu = round.compute_seconds;
-    cpu += costs.send_overhead * static_cast<double>(round.sends.size());
-    cpu += costs.recv_overhead * static_cast<double>(round.recvs.size());
-    for (const auto& op : round.copies) {
-      cpu += static_cast<double>(op.dst.count) * 8.0 *
-             costs.reduce_seconds_per_byte;
-    }
+    const auto i = static_cast<std::size_t>(round);
+    double cpu = exec.round_compute[i];
+    cpu += costs.send_overhead *
+           static_cast<double>(exec.send_begin[i + 1] - exec.send_begin[i]);
+    cpu += costs.recv_overhead *
+           static_cast<double>(exec.recv_begin[i + 1] - exec.recv_begin[i]);
+    cpu += static_cast<double>(exec.round_copy_doubles[i]) * 8.0 *
+           costs.reduce_seconds_per_byte;
     return cpu;
   }
 
   void post_round(std::int32_t job, std::int32_t rank, double t) {
     const auto j = static_cast<std::size_t>(job);
+    const JobView& view = jobs_[j];
+    const PlanExec& exec = *view.exec;
     auto& state = rank_state_[j][static_cast<std::size_t>(rank)];
-    const auto& rounds = jobs_[j].schedule->programs[static_cast<std::size_t>(rank)].rounds;
-    if (state.round >= rounds.size()) {
+    const std::int64_t rounds_per_rep = exec.rounds_of(rank);
+    const std::int64_t total_rounds = rounds_per_rep * view.repetitions;
+    if (state.round >= total_rounds) {
       state.finished = true;
       state.last_time = t;
       on_rank_finished(job, t);
       return;
     }
-    const Round& round = rounds[state.round];
-    const double ready = t + round_cpu_time(round);
+    // Flattened CSR index of this round and the repetition's message shift.
+    const std::int64_t gi =
+        exec.rank_rounds_begin[static_cast<std::size_t>(rank)] +
+        state.round % rounds_per_rep;
+    const std::int32_t shift = static_cast<std::int32_t>(
+        state.round / rounds_per_rep * messages_per_rep(job));
+    const auto i = static_cast<std::size_t>(gi);
+    const double ready = t + round_cpu_time(exec, gi);
     state.posted = true;
-    state.outstanding = static_cast<int>(round.sends.size() + round.recvs.size());
+    state.outstanding = static_cast<int>(
+        (exec.send_begin[i + 1] - exec.send_begin[i]) +
+        (exec.recv_begin[i + 1] - exec.recv_begin[i]));
 
-    for (const auto& op : round.sends) {
-      auto& ms = msg_state_[j][static_cast<std::size_t>(op.msg)];
-      const MsgInfo& m = msg_info(job, op.msg);
+    for (std::int64_t k = exec.send_begin[i]; k < exec.send_begin[i + 1]; ++k) {
+      const std::int32_t msg = exec.send_msg[static_cast<std::size_t>(k)] + shift;
+      auto& ms = msg_state_[j][static_cast<std::size_t>(msg)];
       ms.sender_posted = ready;
-      if (is_eager(m)) {
+      if (is_eager(job, msg)) {
         // Fire-and-forget: the flow departs regardless of the receiver and
         // the sender's op completes at the post.
-        schedule_flow(job, op.msg, ready);
+        schedule_flow(job, msg, ready);
         op_complete(job, rank, ready);
       } else if (ms.receiver_posted >= 0) {
-        schedule_flow(job, op.msg, std::max(ready, ms.receiver_posted));
+        schedule_flow(job, msg, std::max(ready, ms.receiver_posted));
       }
     }
-    for (const auto& op : round.recvs) {
-      auto& ms = msg_state_[j][static_cast<std::size_t>(op.msg)];
-      const MsgInfo& m = msg_info(job, op.msg);
+    for (std::int64_t k = exec.recv_begin[i]; k < exec.recv_begin[i + 1]; ++k) {
+      const std::int32_t msg = exec.recv_msg[static_cast<std::size_t>(k)] + shift;
+      auto& ms = msg_state_[j][static_cast<std::size_t>(msg)];
       ms.receiver_posted = ready;
       if (ms.transfer_done) {
         // Eager payload already arrived; completing costs nothing extra.
         op_complete(job, rank, std::max(ready, ms.transfer_time));
-      } else if (!is_eager(m) && ms.sender_posted >= 0 && !ms.flow_scheduled) {
-        schedule_flow(job, op.msg, std::max(ready, ms.sender_posted));
+      } else if (!is_eager(job, msg) && ms.sender_posted >= 0 &&
+                 !ms.flow_scheduled) {
+        schedule_flow(job, msg, std::max(ready, ms.sender_posted));
       }
     }
     // Ops completing synchronously above (eager sends, already-arrived
@@ -220,7 +258,7 @@ class Engine {
     ms.transfer_done = true;
     ms.transfer_time = t;
     const MsgInfo& m = msg_info(key.job, key.msg);
-    if (!is_eager(m)) {
+    if (!is_eager(key.job, key.msg)) {
       // Rendezvous: the sender's op was pending on the transfer.
       op_complete(key.job, m.src, t);
     }
@@ -255,7 +293,7 @@ class Engine {
   }
 
   const topo::Machine& machine_;
-  const std::vector<JobSpec>& jobs_;
+  std::vector<JobView> jobs_;
   simnet::FlowSim flows_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<std::vector<MsgState>> msg_state_;
@@ -267,10 +305,39 @@ class Engine {
 }  // namespace
 
 TimedResult run_timed(const topo::Machine& machine,
+                      const std::vector<PlanJob>& jobs,
+                      double completion_slack) {
+  MR_EXPECT(!jobs.empty(), "need at least one job");
+  std::vector<JobView> views;
+  views.reserve(jobs.size());
+  for (const PlanJob& job : jobs) {
+    MR_EXPECT(job.plan != nullptr, "job without plan");
+    views.push_back(JobView{&job.plan->schedule, &job.plan->exec,
+                            job.plan->repetitions, &job.core_of_rank,
+                            job.start_time});
+  }
+  Engine engine(machine, std::move(views), completion_slack);
+  return engine.run();
+}
+
+TimedResult run_timed(const topo::Machine& machine,
                       const std::vector<JobSpec>& jobs,
                       double completion_slack) {
   MR_EXPECT(!jobs.empty(), "need at least one job");
-  Engine engine(machine, jobs, completion_slack);
+  // Ad-hoc schedules have not been through plan compilation; validate here
+  // (plans are validated by their builders at compile time).
+  std::vector<PlanExec> execs;
+  execs.reserve(jobs.size());
+  std::vector<JobView> views;
+  views.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    MR_EXPECT(job.schedule != nullptr, "job without schedule");
+    MR_EXPECT(job.schedule->validate().empty(), "malformed schedule");
+    execs.push_back(derive_exec(*job.schedule));
+    views.push_back(JobView{job.schedule, &execs.back(), 1, &job.core_of_rank,
+                            job.start_time});
+  }
+  Engine engine(machine, std::move(views), completion_slack);
   return engine.run();
 }
 
@@ -280,7 +347,20 @@ double run_timed_single(const topo::Machine& machine, const Schedule& schedule,
   JobSpec job;
   job.schedule = &schedule;
   job.core_of_rank = std::move(core_of_rank);
-  const TimedResult result = run_timed(machine, {job}, completion_slack);
+  const TimedResult result = run_timed(machine, std::vector<JobSpec>{job},
+                                       completion_slack);
+  return result.makespan;
+}
+
+double run_timed_plan_single(const topo::Machine& machine, const Plan& plan,
+                             std::vector<std::int64_t> core_of_rank,
+                             double completion_slack) {
+  PlanJob job;
+  // Non-owning alias: the plan outlives this call.
+  job.plan = std::shared_ptr<const Plan>(std::shared_ptr<const Plan>{}, &plan);
+  job.core_of_rank = std::move(core_of_rank);
+  const TimedResult result = run_timed(machine, std::vector<PlanJob>{job},
+                                       completion_slack);
   return result.makespan;
 }
 

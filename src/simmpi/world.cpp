@@ -4,6 +4,7 @@
 #include <map>
 
 #include "mixradix/mr/decompose.hpp"
+#include "mixradix/simmpi/plan_cache.hpp"
 #include "mixradix/util/expect.hpp"
 
 namespace mr::simmpi {
@@ -75,27 +76,27 @@ std::vector<Communicator> Communicator::split_by_level(int level) const {
 
 double Communicator::time_collective(Collective kind, std::int64_t count,
                                      std::int32_t root) const {
-  const Schedule schedule = make_collective(
-      kind, size(), count, machine_->costs().eager_threshold, root);
-  return run_timed_single(*machine_, schedule, cores_);
+  const auto plan = PlanCache::shared().get(
+      PlanKey{selected_algorithm(kind, size(), count,
+                                 machine_->costs().eager_threshold),
+              size(), count, root, 1});
+  return run_timed_plan_single(*machine_, *plan, cores_);
 }
 
 double Communicator::time_concurrent(const std::vector<Communicator>& comms,
                                      Collective kind, std::int64_t count) {
   MR_EXPECT(!comms.empty(), "need at least one communicator");
   const topo::Machine& machine = comms.front().machine();
-  std::vector<Schedule> schedules;
-  schedules.reserve(comms.size());
-  std::vector<JobSpec> jobs;
+  std::vector<PlanJob> jobs;
   jobs.reserve(comms.size());
   for (const auto& comm : comms) {
     MR_EXPECT(&comm.machine() == &machine,
               "all communicators must live on the same machine");
-    schedules.push_back(make_collective(kind, comm.size(), count,
-                                        machine.costs().eager_threshold));
-  }
-  for (std::size_t i = 0; i < comms.size(); ++i) {
-    jobs.push_back(JobSpec{&schedules[i], comms[i].cores(), 0.0});
+    auto plan = PlanCache::shared().get(
+        PlanKey{selected_algorithm(kind, comm.size(), count,
+                                   machine.costs().eager_threshold),
+                comm.size(), count, 0, 1});
+    jobs.push_back(PlanJob{std::move(plan), comm.cores(), 0.0});
   }
   return run_timed(machine, jobs).makespan;
 }

@@ -1,8 +1,7 @@
 #include "mixradix/verify/generator_matrix.hpp"
 
-#include <algorithm>
-
 #include "mixradix/simmpi/collectives.hpp"
+#include "mixradix/simmpi/registry.hpp"
 #include "mixradix/util/expect.hpp"
 
 namespace mr::verify {
@@ -11,23 +10,11 @@ using simmpi::Schedule;
 
 namespace {
 
-bool is_power_of_two(std::int32_t p) { return p > 0 && (p & (p - 1)) == 0; }
-
-/// Deterministic non-uniform counts matrix for alltoallv, including zero
-/// entries (the generator's trickiest case).
-std::vector<std::vector<std::int64_t>> v_counts(std::int32_t p,
-                                                std::int64_t count) {
-  const std::int64_t unit = (count + 3) / 4;
-  std::vector<std::vector<std::int64_t>> counts(static_cast<std::size_t>(p));
-  for (std::int32_t i = 0; i < p; ++i) {
-    auto& row = counts[static_cast<std::size_t>(i)];
-    row.resize(static_cast<std::size_t>(p));
-    for (std::int32_t j = 0; j < p; ++j) {
-      row[static_cast<std::size_t>(j)] = ((i + 2 * j) % 4) * unit;
-    }
-  }
-  return counts;
-}
+// The per-algorithm generators, support predicates, and the canonical
+// alltoallv counts fixture all live in the simmpi algorithm registry
+// (mixradix/simmpi/registry.hpp). This file only adds the composition
+// shapes — the schedule forms the sweeps actually replay (steady-state
+// repetition, back-to-back collectives, simultaneous subcommunicators).
 
 /// Two part-p communicators interleaved over 2p global ranks: part 0 on the
 /// even ranks, part 1 on the odd ones.
@@ -40,110 +27,28 @@ Schedule interleaved_merge(const Schedule& part) {
   return simmpi::merge({part, part}, {evens, odds}, 2 * part.nranks);
 }
 
-struct Entry {
+struct Composition {
   const char* name;
-  bool rooted;
-  bool (*supported)(std::int32_t p);
-  Schedule (*make)(std::int32_t p, std::int64_t count, std::int32_t root);
+  Schedule (*make)(std::int32_t p, std::int64_t count);
 };
 
-constexpr bool any_p(std::int32_t) { return true; }
-
-const Entry kEntries[] = {
-    {"alltoall_pairwise", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::alltoall_pairwise(p, c);
-     }},
-    {"alltoall_bruck", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::alltoall_bruck(p, c);
-     }},
-    {"alltoall_linear", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::alltoall_linear(p, c);
-     }},
-    {"allgather_ring", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::allgather_ring(p, c);
-     }},
-    {"allgather_recursive_doubling", false, is_power_of_two,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::allgather_recursive_doubling(p, c);
-     }},
-    {"allgather_bruck", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::allgather_bruck(p, c);
-     }},
-    {"allreduce_recursive_doubling", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::allreduce_recursive_doubling(p, c);
-     }},
-    {"allreduce_ring", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::allreduce_ring(p, c);
-     }},
-    {"bcast_binomial", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::bcast_binomial(p, c, root);
-     }},
-    {"bcast_scatter_allgather", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::bcast_scatter_allgather(p, c, root);
-     }},
-    {"reduce_binomial", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::reduce_binomial(p, c, root);
-     }},
-    {"gather_linear", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::gather_linear(p, c, root);
-     }},
-    {"scatter_linear", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::scatter_linear(p, c, root);
-     }},
-    {"scatter_binomial", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::scatter_binomial(p, c, root);
-     }},
-    {"gather_binomial", true, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t root) {
-       return simmpi::gather_binomial(p, c, root);
-     }},
-    {"reduce_scatter_ring", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::reduce_scatter_ring(p, c);
-     }},
-    {"scan_recursive_doubling", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::scan_recursive_doubling(p, c);
-     }},
-    {"barrier_dissemination", false, any_p,
-     [](std::int32_t p, std::int64_t, std::int32_t) {
-       return simmpi::barrier_dissemination(p);
-     }},
-    {"alltoallv_pairwise", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
-       return simmpi::alltoallv_pairwise(v_counts(p, c));
-     }},
-    // Compositions — the shapes the sweeps actually replay (steady-state
-    // repetition, back-to-back collectives, simultaneous subcommunicators).
-    {"repeat", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
+const Composition kCompositions[] = {
+    {"repeat",
+     [](std::int32_t p, std::int64_t c) {
        return simmpi::repeat(simmpi::allreduce_ring(p, c), 3);
      }},
-    {"concat", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
+    {"concat",
+     [](std::int32_t p, std::int64_t c) {
        return simmpi::concat({simmpi::allreduce_recursive_doubling(p, c),
                               simmpi::allgather_ring(p, c),
                               simmpi::barrier_dissemination(p)});
      }},
-    {"merge", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
+    {"merge",
+     [](std::int32_t p, std::int64_t c) {
        return interleaved_merge(simmpi::allreduce_ring(p, c));
      }},
-    {"concat_merge", false, any_p,
-     [](std::int32_t p, std::int64_t c, std::int32_t) {
+    {"concat_merge",
+     [](std::int32_t p, std::int64_t c) {
        // Two interleaved subcommunicator allreduces, then a full-width
        // alltoall over all 2p ranks: a whole sweep iteration as one IR.
        return simmpi::concat({interleaved_merge(simmpi::allreduce_ring(p, c)),
@@ -151,9 +56,9 @@ const Entry kEntries[] = {
      }},
 };
 
-const Entry* find_entry(const std::string& name) {
-  for (const Entry& e : kEntries) {
-    if (name == e.name) return &e;
+const Composition* find_composition(const std::string& name) {
+  for (const Composition& c : kCompositions) {
+    if (name == c.name) return &c;
   }
   return nullptr;
 }
@@ -162,48 +67,60 @@ const Entry* find_entry(const std::string& name) {
 
 std::vector<std::string> algorithm_names() {
   std::vector<std::string> names;
-  for (const Entry& e : kEntries) names.emplace_back(e.name);
+  for (const auto& e : simmpi::algorithm_registry()) names.emplace_back(e.name);
+  for (const Composition& c : kCompositions) names.emplace_back(c.name);
   return names;
 }
 
 bool supports(const std::string& name, std::int32_t p) {
-  const Entry* e = find_entry(name);
-  return e != nullptr && p >= 1 && e->supported(p);
+  if (p < 1) return false;
+  if (const auto* e = simmpi::find_algorithm(name)) return e->supported(p);
+  return find_composition(name) != nullptr;
 }
 
 Schedule make_named(const std::string& name, std::int32_t p,
                     std::int64_t count, std::int32_t root) {
-  const Entry* e = find_entry(name);
-  MR_EXPECT(e != nullptr, "unknown algorithm: " + name);
-  MR_EXPECT(p >= 1 && e->supported(p),
-            name + " does not support p = " + std::to_string(p));
-  MR_EXPECT(count >= 1, "count must be >= 1");
-  MR_EXPECT(root >= 0 && root < p, "root out of range");
-  return e->make(p, count, root);
+  if (const Composition* c = find_composition(name)) {
+    MR_EXPECT(p >= 1, name + " does not support p = " + std::to_string(p));
+    MR_EXPECT(count >= 1, "count must be >= 1");
+    MR_EXPECT(root >= 0 && root < p, "root out of range");
+    return c->make(p, count);
+  }
+  return simmpi::make_algorithm(name, p, count, root);
 }
 
 std::vector<MatrixPoint> generator_matrix(
     const std::vector<std::int32_t>& ranks,
     const std::vector<std::int64_t>& counts) {
   std::vector<MatrixPoint> points;
-  for (const Entry& e : kEntries) {
+  const auto add = [&points](const char* name, bool rooted, std::int32_t p,
+                             std::int64_t c) {
+    std::vector<std::int32_t> roots{0};
+    if (rooted && p > 1) roots.push_back(p - 1);
+    for (const std::int32_t root : roots) {
+      MatrixPoint point;
+      point.algorithm = name;
+      point.nranks = p;
+      point.count = c;
+      point.name = std::string(name) + "/p=" + std::to_string(p) +
+                   "/c=" + std::to_string(c);
+      if (rooted && p > 1) point.name += "/root=" + std::to_string(root);
+      point.make = [name = std::string(name), p, c, root] {
+        return make_named(name, p, c, root);
+      };
+      points.push_back(std::move(point));
+    }
+  };
+  for (const auto& e : simmpi::algorithm_registry()) {
     for (const std::int32_t p : ranks) {
       if (p < 1 || !e.supported(p)) continue;
-      std::vector<std::int32_t> roots{0};
-      if (e.rooted && p > 1) roots.push_back(p - 1);
-      for (const std::int64_t c : counts) {
-        for (const std::int32_t root : roots) {
-          MatrixPoint point;
-          point.algorithm = e.name;
-          point.nranks = p;
-          point.count = c;
-          point.name = std::string(e.name) + "/p=" + std::to_string(p) +
-                       "/c=" + std::to_string(c);
-          if (e.rooted && p > 1) point.name += "/root=" + std::to_string(root);
-          point.make = [&e, p, c, root] { return e.make(p, c, root); };
-          points.push_back(std::move(point));
-        }
-      }
+      for (const std::int64_t c : counts) add(e.name, e.rooted, p, c);
+    }
+  }
+  for (const Composition& comp : kCompositions) {
+    for (const std::int32_t p : ranks) {
+      if (p < 1) continue;
+      for (const std::int64_t c : counts) add(comp.name, false, p, c);
     }
   }
   return points;

@@ -1,6 +1,7 @@
 #include "mixradix/verify/verify.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <utility>
 
@@ -747,8 +748,17 @@ class Analyzer {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_analyze_calls{0};
+}  // namespace
+
 Report analyze(const Schedule& schedule, const Options& options) {
+  g_analyze_calls.fetch_add(1, std::memory_order_relaxed);
   return Analyzer(schedule, options).run();
+}
+
+std::uint64_t analyze_call_count() {
+  return g_analyze_calls.load(std::memory_order_relaxed);
 }
 
 }  // namespace mr::verify

@@ -162,7 +162,8 @@ TEST(TimedExecutor, StaggeredJobStartTimes) {
 TEST(TimedExecutor, ValidatesJobs) {
   const auto m = topo::testbox();
   const Schedule s = one_message(4);
-  EXPECT_THROW(run_timed(m, {}), invalid_argument);
+  EXPECT_THROW(run_timed(m, std::vector<JobSpec>{}), invalid_argument);
+  EXPECT_THROW(run_timed(m, std::vector<PlanJob>{}), invalid_argument);
   EXPECT_THROW(run_timed(m, {JobSpec{&s, {0}, 0.0}}), invalid_argument);
   EXPECT_THROW(run_timed(m, {JobSpec{&s, {0, 99}, 0.0}}), invalid_argument);
   EXPECT_THROW(run_timed(m, {JobSpec{nullptr, {0, 1}, 0.0}}), invalid_argument);
