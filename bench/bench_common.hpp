@@ -95,6 +95,31 @@ struct Options {
   }
 };
 
+/// Engine-counter line in the style of the plan-cache stats line: one run's
+/// executor instrumentation (events, queue/flow high-water marks, route
+/// cache effectiveness).
+inline void print_engine_counters(std::ostream& os,
+                                  const mr::simmpi::TimedResult& result) {
+  const auto& engine = result.engine_stats;
+  const std::int64_t lookups =
+      engine.route_cache_hits + engine.route_cache_misses;
+  os << "engine: " << engine.events_processed << " events ("
+     << engine.peak_event_queue << " peak queue), "
+     << result.total_flow_events << " flow completions ("
+     << result.flow_stats.peak_active_flows << " peak active flows), routes: "
+     << engine.route_cache_hits << " hits / " << engine.route_cache_misses
+     << " misses";
+  if (lookups > 0) {
+    os << " ("
+       << static_cast<int>(
+              static_cast<double>(engine.route_cache_hits) /
+                  static_cast<double>(lookups) * 100.0 +
+              0.5)
+       << "% interned)";
+  }
+  os << "\n";
+}
+
 inline void emit(const std::string& figure, const Options& opts,
                  const std::vector<mr::harness::SweepSeries>& single,
                  const std::vector<mr::harness::SweepSeries>& simultaneous,

@@ -17,6 +17,7 @@
 #include "mixradix/mr/metrics.hpp"
 #include "mixradix/mr/permutation.hpp"
 #include "mixradix/simmpi/collectives.hpp"
+#include "mixradix/simmpi/timed_executor.hpp"
 #include "mixradix/topo/machine.hpp"
 
 namespace mr::harness {
@@ -35,6 +36,13 @@ struct MicrobenchConfig {
   /// process). false compiles privately per call; the results must be
   /// byte-identical either way.
   bool use_plan_cache = true;
+  /// Forwarded to simmpi::ExecOptions::completion_slack.
+  double completion_slack = simmpi::kDefaultCompletionSlack;
+  /// Run the pre-overhaul reference engine (bench baseline; bit-identical
+  /// timing, see simmpi::ExecOptions::reference).
+  bool reference_engine = false;
+  /// Reusable engine scratch (one per thread); nullptr = private per run.
+  simmpi::SimWorkspace* workspace = nullptr;
 };
 
 struct MicrobenchResult {
@@ -72,6 +80,11 @@ struct SweepConfig {
   /// Forwarded to MicrobenchConfig::use_plan_cache: h! orders share one
   /// compiled plan per size instead of recompiling per (order, size) point.
   bool use_plan_cache = true;
+  /// Forwarded to MicrobenchConfig::completion_slack.
+  double completion_slack = simmpi::kDefaultCompletionSlack;
+  /// Forwarded to MicrobenchConfig::reference_engine. The sweep's point
+  /// workspaces are disabled too (the reference engine allocates fresh).
+  bool reference_engine = false;
 };
 
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,

@@ -14,9 +14,18 @@
 // implementation is data-oriented — active flows live in dense parallel
 // arrays with inline channel sets — because simulating one collective can
 // mean hundreds of thousands of rate updates.
+//
+// Time advances on a virtual clock: a flow stores the absolute deadline at
+// which it completes under its current rate, recomputed only when that rate
+// actually changes, so advance_to() never touches per-flow state and the
+// next completion comes from a lazy min-heap over deadlines instead of an
+// O(active-flows) scan per event. A reference mode (incremental = false)
+// keeps the scan for benchmarking; both modes evaluate the exact same
+// floating-point expressions and are bit-identical.
 #pragma once
 
 #include <array>
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -24,6 +33,19 @@
 namespace mr::simnet {
 
 using ChannelId = std::int32_t;
+
+/// Most channels a single flow may cross (2 link sides + 2 memory sides
+/// per hierarchy level, hierarchies up to 6 levels deep).
+inline constexpr int kMaxChannelsPerFlow = 24;
+
+/// An inline, sorted, duplicate-free channel set — the interned form of a
+/// flow's path (see simnet::RouteTable). Producing one once per (src, dst)
+/// core pair is what lets add_flow skip the per-message vector allocation,
+/// sort and unique of the general entry point.
+struct ChanSet {
+  std::array<ChannelId, kMaxChannelsPerFlow> ids;
+  std::int32_t count = 0;
+};
 
 /// A completed flow, reported by advance_and_pop().
 struct Completion {
@@ -34,9 +56,8 @@ struct Completion {
 
 class FlowSim {
  public:
-  /// Most channels a single flow may cross (2 link sides + 2 memory sides
-  /// per hierarchy level, hierarchies up to 6 levels deep).
-  static constexpr int kMaxChannelsPerFlow = 24;
+  /// Compatibility alias for the namespace-scope constant.
+  static constexpr int kMaxChannelsPerFlow = simnet::kMaxChannelsPerFlow;
 
   /// Per-instance event counters (formerly file-scope globals; instances
   /// must be independent so simulations can run on concurrent threads).
@@ -45,7 +66,12 @@ class FlowSim {
     std::int64_t deferred_rejections = 0;   ///< fast path fell through to exact.
     std::int64_t full_recomputes = 0;       ///< exact progressive-filling passes.
     std::int64_t pop_batches = 0;           ///< advance_and_pop() batches.
+    std::int64_t peak_active_flows = 0;     ///< high-water mark of active flows.
   };
+
+  /// An empty simulator; reset() before use. Exists so a SimWorkspace can
+  /// hold one instance whose buffers persist across runs.
+  FlowSim() = default;
 
   /// `capacities[c]` is the bytes/s capacity of channel c.
   /// `completion_slack` trades exactness for speed: a flow whose residual
@@ -55,6 +81,14 @@ class FlowSim {
   /// completions that collective traffic produces, with a per-hop relative
   /// timing error bounded by the slack.
   explicit FlowSim(std::vector<double> capacities, double completion_slack = 0.0);
+
+  /// Reinitialise to a fresh simulation over `capacities`, reusing every
+  /// internal buffer (no per-run allocation churn when the channel count is
+  /// unchanged). `incremental = false` selects the reference completion
+  /// tracker: an O(active-flows) scan per event instead of the lazy
+  /// deadline heap, with bit-identical output (bench baseline).
+  void reset(const std::vector<double>& capacities, double completion_slack = 0.0,
+             bool incremental = true);
 
   double now() const noexcept { return now_; }
 
@@ -67,11 +101,24 @@ class FlowSim {
   std::int64_t add_flow(std::vector<ChannelId> channels, double bytes,
                         std::int64_t user);
 
+  /// Interned fast path: `channels` must already be sorted, duplicate-free
+  /// and in range (as produced by RouteTable); skips the per-call
+  /// allocation, sort and validation of the vector overload. Constrained
+  /// template rather than a plain ChanSet parameter so braced channel
+  /// lists ({0, 1}) keep resolving to the vector overload (a braced list
+  /// never deduces a template parameter).
+  template <typename Set>
+    requires std::same_as<Set, ChanSet>
+  std::int64_t add_flow(const Set& channels, double bytes, std::int64_t user) {
+    return add_interned(channels, bytes, user);
+  }
+
   /// Time at which the next flow will complete under current rates, or
   /// std::nullopt when no flow is active.
   std::optional<double> next_completion_time();
 
-  /// Advance the clock to exactly `t` (draining all flows linearly).
+  /// Advance the clock to exactly `t` (all flows drain linearly; the drain
+  /// is implicit in each flow's deadline, so this is O(1)).
   /// `t` must be >= now() and <= next_completion_time() when flows exist.
   void advance_to(double t);
 
@@ -83,29 +130,44 @@ class FlowSim {
   /// Completed flows report their final rate.
   double flow_rate(std::int64_t flow);
 
-  /// Event counters since construction.
+  /// Event counters since construction (or the last reset()).
   const Stats& stats() const noexcept { return stats_; }
 
  private:
-  struct ChanSet {
-    std::array<ChannelId, kMaxChannelsPerFlow> ids;
-    std::int32_t count = 0;
-  };
-
+  std::int64_t add_interned(const ChanSet& channels, double bytes,
+                            std::int64_t user);
   void recompute_rates();
   bool try_defer_allocation(std::size_t index);
   bool steal_allocation(std::size_t index, double fair);
-  void drain(double dt);
   void remove_active(std::size_t index);
+
+  /// Bytes left in flow `index` at the current clock under its current
+  /// rate (exact while the rate is unchanged: the deadline is fixed).
+  double current_remaining(std::size_t index) const;
+  /// Install a new rate for flow `index`: sync its remaining bytes to the
+  /// current clock, project the new absolute deadline, index it.
+  void assign_rate(std::size_t index, double rate);
+  void heap_push(std::size_t index);
 
   /// Pop batches between forced exact recomputations in deferred mode.
   static constexpr int kMaxDeferredBatches = 128;
 
+  /// Below this many active flows the incremental tracker uses the
+  /// reference scan directly (same doubles, no heap maintenance): with few
+  /// flows the O(n) scan is cheaper than keeping the lazy index fresh
+  /// under rate churn. The heap engages for the many-flow regime (e.g. 32
+  /// simultaneous communicators, hundreds of active flows).
+  static constexpr std::size_t kScanFlows = 64;
+
   std::vector<double> capacities_;
 
   // Dense parallel arrays over ACTIVE flows (swap-removed on completion).
+  // `remaining_` holds the bytes left as of the flow's last rate change;
+  // `deadline_` the absolute completion time under the current rate
+  // (+inf while the flow awaits its first allocation).
   std::vector<double> remaining_;
   std::vector<double> rate_;
+  std::vector<double> deadline_;
   std::vector<std::int64_t> user_;
   std::vector<std::int64_t> ext_id_;
   std::vector<ChanSet> chans_;
@@ -116,9 +178,24 @@ class FlowSim {
 
   double now_ = 0;
   double completion_slack_ = 0;
+  bool incremental_ = true;
   bool rates_dirty_ = true;
   int batches_since_full_ = 0;
   Stats stats_;
+
+  // Lazy completion index: every deadline change pushes a (deadline, ext)
+  // entry; stale entries (flow gone, or deadline since changed) are
+  // discarded on pop. Unused in reference mode and below kScanFlows;
+  // heap_live_ records whether the heap currently covers every active
+  // flow (pushes are suppressed in the scan regime, so the first push
+  // back in the many-flow regime rebuilds it wholesale).
+  struct HeapEntry {
+    double deadline;
+    std::int64_t ext;
+  };
+  std::vector<HeapEntry> heap_;
+  bool heap_live_ = false;
+  std::vector<std::size_t> batch_;  ///< completion-batch scratch.
 
   // Incremental per-channel bookkeeping for deferred allocation.
   std::vector<double> used_;
@@ -131,6 +208,7 @@ class FlowSim {
   // Scratch (persistent capacity, reset per recompute).
   std::vector<double> residual_;
   std::vector<std::int32_t> load_;
+  std::vector<double> newrate_;
   std::vector<ChannelId> touched_;
   std::vector<std::vector<std::int32_t>> flows_on_;  ///< active indices.
   std::vector<ChannelId> touched_scan_;

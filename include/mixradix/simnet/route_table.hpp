@@ -1,0 +1,77 @@
+// Per-machine route interning for the timed executor hot path.
+//
+// Every message a collective schedule posts is a (src_core, dst_core)
+// transfer, and every figure sweep replays the same few thousand core
+// pairs hundreds of thousands of times. Deriving the channel set with
+// flow_channels() per message means a heap-allocated vector plus a
+// sort/unique per message; the route table does that walk ONCE per
+// distinct pair and hands back an interned ChanSet (already sorted,
+// duplicate-free, in range — FlowSim's fast add_flow overload) together
+// with the pair's path latency.
+//
+// A RouteTable is bound to one machine and is deliberately not
+// thread-safe: each SimWorkspace (one per sweep thread) owns its own
+// table, so the hot path takes no locks and route ids stay dense.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mixradix/simnet/flow_sim.hpp"
+#include "mixradix/topo/machine.hpp"
+
+namespace mr::simnet {
+
+class RouteTable {
+ public:
+  /// Dense id of an interned (src_core, dst_core) route.
+  using RouteId = std::int32_t;
+
+  struct Stats {
+    std::int64_t hits = 0;    ///< route() calls served from the table.
+    std::int64_t misses = 0;  ///< route() calls that derived a new route.
+  };
+
+  /// An unbound table; bind() before use.
+  RouteTable() = default;
+
+  /// Bind to `machine`, dropping all interned routes. The reference must
+  /// outlive the table (a SimWorkspace rebinds whenever the machine
+  /// changes). Counters reset.
+  void bind(const topo::Machine& machine);
+
+  /// Drop interned routes but keep the binding and the counters.
+  void clear();
+
+  /// Re-point at an equivalent machine — one whose topology and
+  /// performance parameters match the bound machine's — WITHOUT dropping
+  /// interned routes. Used by SimWorkspace when a fresh Machine instance
+  /// has an identical fingerprint (routes depend only on the parameters).
+  void rebind_equivalent(const topo::Machine& machine) noexcept {
+    machine_ = &machine;
+  }
+
+  /// Intern (or look up) the route from `src` to `dst`; cores must be in
+  /// range for the bound machine.
+  RouteId route(std::int64_t src, std::int64_t dst);
+
+  const ChanSet& channels(RouteId id) const {
+    return channels_[static_cast<std::size_t>(id)];
+  }
+  double latency(RouteId id) const {
+    return latency_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const noexcept { return channels_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  const topo::Machine* machine_ = nullptr;
+  std::unordered_map<std::uint64_t, RouteId> index_;  ///< (src << 32 | dst).
+  std::vector<ChanSet> channels_;
+  std::vector<double> latency_;
+  Stats stats_;
+};
+
+}  // namespace mr::simnet

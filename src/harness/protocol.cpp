@@ -65,7 +65,11 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
     jobs.push_back(std::move(job));
   }
 
-  const simmpi::TimedResult timed = simmpi::run_timed(machine, jobs);
+  simmpi::ExecOptions exec;
+  exec.completion_slack = config.completion_slack;
+  exec.reference = config.reference_engine;
+  exec.workspace = config.workspace;
+  const simmpi::TimedResult timed = simmpi::run_timed(machine, jobs, exec);
 
   std::vector<double> bandwidths;
   bandwidths.reserve(jobs.size());

@@ -41,6 +41,14 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
                                              config.orders[oi],
                                              config.comm_size);
     }
+    // One engine workspace per pool thread (thread_local, so the serial
+    // path gets one too): every point this thread simulates reuses the
+    // flow-simulator arrays, event heap and interned routes, which is
+    // what keeps a 5040-order enumeration from paying allocation churn
+    // per point. Results are independent of reuse by construction
+    // (bit-identity is enforced by the determinism tests and
+    // bench/timed_hotpath).
+    static thread_local simmpi::SimWorkspace workspace;
     MicrobenchConfig mb;
     mb.order = config.orders[oi];
     mb.comm_size = config.comm_size;
@@ -49,6 +57,9 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
     mb.all_comms = config.all_comms;
     mb.repetitions = config.repetitions;
     mb.use_plan_cache = config.use_plan_cache;
+    mb.completion_slack = config.completion_slack;
+    mb.reference_engine = config.reference_engine;
+    mb.workspace = config.reference_engine ? nullptr : &workspace;
     out[oi].results[si] = run_microbench(machine, mb);
   };
 

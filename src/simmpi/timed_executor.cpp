@@ -1,11 +1,14 @@
 #include "mixradix/simmpi/timed_executor.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
+#include <optional>
+#include <sstream>
 
 #include "mixradix/simnet/flow_sim.hpp"
 #include "mixradix/simnet/path.hpp"
+#include "mixradix/simnet/route_table.hpp"
 #include "mixradix/util/expect.hpp"
 
 namespace mr::simmpi {
@@ -42,16 +45,6 @@ MsgKey decode(std::int64_t cookie) {
                 static_cast<std::int32_t>(cookie & 0xffffffff)};
 }
 
-enum class EventKind { PostRound, StartFlow };
-
-struct Event {
-  double time = 0;
-  EventKind kind = EventKind::PostRound;
-  std::int32_t job = 0;
-  std::int32_t a = 0;  ///< rank for PostRound, virtual msg for StartFlow.
-  bool operator>(const Event& other) const { return time > other.time; }
-};
-
 struct MsgState {
   double sender_posted = -1;
   double receiver_posted = -1;
@@ -68,17 +61,86 @@ struct RankState {
   bool finished = false;
 };
 
+/// The parameters that determine a machine's channel capacities, routes
+/// and cost model — what a SimWorkspace binding depends on. Two Machine
+/// instances with equal fingerprints are interchangeable, so a reused
+/// workspace keeps its interned routes across them (pointer identity is
+/// NOT a safe test: a new machine can reuse a dead one's address).
+std::string fingerprint_of(const topo::Machine& machine) {
+  std::ostringstream os;
+  os.precision(17);
+  os << machine.name() << '\n' << machine.core_flops();
+  const auto& costs = machine.costs();
+  os << '\n'
+     << costs.send_overhead << ' ' << costs.recv_overhead << ' '
+     << costs.base_latency << ' ' << costs.eager_threshold << ' '
+     << costs.reduce_seconds_per_byte;
+  for (const auto& level : machine.levels()) {
+    os << '\n'
+       << level.name << ' ' << level.radix << ' ' << level.link_latency << ' '
+       << level.link_bandwidth << ' ' << level.mem_bandwidth;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+/// Everything the engine allocates, hoisted so reuse across runs is
+/// alloc-free once warm: the flow simulator (with its channel lists and
+/// completion heap), the route table, the event heap, per-job message and
+/// rank state, and the machine's channel capacities.
+struct SimWorkspace::Impl {
+  simnet::FlowSim flows;
+  simnet::RouteTable routes;
+  std::vector<double> capacities;
+  std::string fingerprint;
+  std::vector<detail::Event> events;  ///< binary min-heap (Event::operator>).
+  std::vector<std::vector<MsgState>> msg_state;
+  std::vector<std::vector<RankState>> rank_state;
+  std::vector<std::vector<simnet::RouteTable::RouteId>> msg_route;
+  std::vector<double> finish;
+
+  /// Bind to `machine`: a changed fingerprint recomputes capacities and
+  /// drops interned routes; an equivalent machine only retargets the
+  /// route table's reference.
+  void bind(const topo::Machine& machine) {
+    std::string fp = fingerprint_of(machine);
+    if (fp == fingerprint) {
+      routes.rebind_equivalent(machine);
+      return;
+    }
+    fingerprint = std::move(fp);
+    capacities = simnet::channel_capacities(machine);
+    routes.bind(machine);
+  }
+};
+
+SimWorkspace::SimWorkspace() : impl_(std::make_unique<Impl>()) {}
+SimWorkspace::~SimWorkspace() = default;
+SimWorkspace::SimWorkspace(SimWorkspace&&) noexcept = default;
+SimWorkspace& SimWorkspace::operator=(SimWorkspace&&) noexcept = default;
+
+namespace {
+
 class Engine {
  public:
   Engine(const topo::Machine& machine, std::vector<JobView> jobs,
-         double completion_slack)
+         const ExecOptions& options, SimWorkspace::Impl& ws)
       : machine_(machine),
         jobs_(std::move(jobs)),
-        flows_(simnet::channel_capacities(machine), completion_slack) {
-    msg_state_.resize(jobs_.size());
-    rank_state_.resize(jobs_.size());
-    finish_.assign(jobs_.size(), 0.0);
-    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        ws_(ws),
+        reference_(options.reference) {
+    ws_.bind(machine);
+    ws_.flows.reset(ws_.capacities, options.completion_slack, !reference_);
+    ws_.events.clear();
+    const std::size_t njobs = jobs_.size();
+    ws_.msg_state.resize(njobs);
+    ws_.rank_state.resize(njobs);
+    ws_.msg_route.resize(njobs);
+    ws_.finish.assign(njobs, 0.0);
+    route_hits_before_ = ws_.routes.stats().hits;
+    route_misses_before_ = ws_.routes.stats().misses;
+    for (std::size_t j = 0; j < njobs; ++j) {
       const JobView& job = jobs_[j];
       MR_EXPECT(job.repetitions >= 1, "repetition count must be >= 1");
       MR_EXPECT(static_cast<std::int32_t>(job.core_of_rank->size()) ==
@@ -92,11 +154,26 @@ class Engine {
           job.repetitions;
       MR_EXPECT(virtual_msgs <= std::numeric_limits<std::int32_t>::max(),
                 "repetitions * messages overflows the message id space");
-      msg_state_[j].assign(static_cast<std::size_t>(virtual_msgs), MsgState{});
-      rank_state_[j].assign(static_cast<std::size_t>(job.schedule->nranks),
-                            RankState{});
+      ws_.msg_state[j].assign(static_cast<std::size_t>(virtual_msgs),
+                              MsgState{});
+      ws_.rank_state[j].assign(static_cast<std::size_t>(job.schedule->nranks),
+                               RankState{});
+      // Pre-resolve every base message's route once per (plan, binding) —
+      // repetitions and StartFlow events then index straight into the
+      // interned table (the reference engine re-derives per message).
+      auto& routes = ws_.msg_route[j];
+      routes.clear();
+      if (!reference_) {
+        routes.reserve(job.schedule->messages.size());
+        for (const MsgInfo& m : job.schedule->messages) {
+          routes.push_back(ws_.routes.route(
+              (*job.core_of_rank)[static_cast<std::size_t>(m.src)],
+              (*job.core_of_rank)[static_cast<std::size_t>(m.dst)]));
+        }
+      }
       for (std::int32_t r = 0; r < job.schedule->nranks; ++r) {
-        push({job.start_time, EventKind::PostRound, static_cast<std::int32_t>(j), r});
+        push({job.start_time, detail::EventKind::PostRound,
+              static_cast<std::int32_t>(j), r});
       }
       result_.total_messages += virtual_msgs;
     }
@@ -104,23 +181,23 @@ class Engine {
 
   TimedResult run() {
     while (true) {
-      const double t_evt = events_.empty() ? kInf : events_.top().time;
-      const auto flow_next = flows_.next_completion_time();
+      const double t_evt = ws_.events.empty() ? kInf : ws_.events.front().time;
+      const auto flow_next = ws_.flows.next_completion_time();
       const double t_flow = flow_next.value_or(kInf);
       if (t_evt == kInf && t_flow == kInf) break;
       if (t_flow <= t_evt + kTimeEps) {
-        for (const auto& done : flows_.advance_and_pop()) {
+        for (const auto& done : ws_.flows.advance_and_pop()) {
           ++result_.total_flow_events;
           on_transfer_done(decode(done.user), done.time);
         }
       } else {
-        flows_.advance_to(t_evt);
+        ws_.flows.advance_to(t_evt);
         // Handle every event at this timestamp before giving the flow
         // simulator a chance to recompute rates.
-        while (!events_.empty() && events_.top().time <= t_evt + kTimeEps) {
-          const Event e = events_.top();
-          events_.pop();
-          if (e.kind == EventKind::PostRound) {
+        while (!ws_.events.empty() && ws_.events.front().time <= t_evt + kTimeEps) {
+          const detail::Event e = pop();
+          ++result_.engine_stats.events_processed;
+          if (e.kind == detail::EventKind::PostRound) {
             post_round(e.job, e.a, e.time);
           } else {
             start_flow(e.job, e.a);
@@ -128,14 +205,33 @@ class Engine {
         }
       }
     }
-    result_.job_finish = finish_;
-    for (double f : finish_) result_.makespan = std::max(result_.makespan, f);
-    result_.flow_stats = flows_.stats();
+    result_.job_finish = ws_.finish;
+    for (double f : ws_.finish) {
+      result_.makespan = std::max(result_.makespan, f);
+    }
+    result_.flow_stats = ws_.flows.stats();
+    result_.engine_stats.route_cache_hits =
+        ws_.routes.stats().hits - route_hits_before_;
+    result_.engine_stats.route_cache_misses =
+        ws_.routes.stats().misses - route_misses_before_;
     return result_;
   }
 
  private:
-  void push(Event e) { events_.push(e); }
+  void push(detail::Event e) {
+    ws_.events.push_back(e);
+    std::push_heap(ws_.events.begin(), ws_.events.end(), std::greater<>{});
+    result_.engine_stats.peak_event_queue =
+        std::max(result_.engine_stats.peak_event_queue,
+                 static_cast<std::int64_t>(ws_.events.size()));
+  }
+
+  detail::Event pop() {
+    std::pop_heap(ws_.events.begin(), ws_.events.end(), std::greater<>{});
+    const detail::Event e = ws_.events.back();
+    ws_.events.pop_back();
+    return e;
+  }
 
   std::int64_t messages_per_rep(std::int32_t job) const {
     return static_cast<std::int64_t>(
@@ -146,6 +242,12 @@ class Engine {
   const MsgInfo& msg_info(std::int32_t job, std::int32_t msg) const {
     const JobView& j = jobs_[static_cast<std::size_t>(job)];
     return j.schedule->messages[static_cast<std::size_t>(
+        msg % messages_per_rep(job))];
+  }
+
+  simnet::RouteTable::RouteId route_of(std::int32_t job,
+                                       std::int32_t msg) const {
+    return ws_.msg_route[static_cast<std::size_t>(job)][static_cast<std::size_t>(
         msg % messages_per_rep(job))];
   }
 
@@ -179,7 +281,7 @@ class Engine {
     const auto j = static_cast<std::size_t>(job);
     const JobView& view = jobs_[j];
     const PlanExec& exec = *view.exec;
-    auto& state = rank_state_[j][static_cast<std::size_t>(rank)];
+    auto& state = ws_.rank_state[j][static_cast<std::size_t>(rank)];
     const std::int64_t rounds_per_rep = exec.rounds_of(rank);
     const std::int64_t total_rounds = rounds_per_rep * view.repetitions;
     if (state.round >= total_rounds) {
@@ -203,7 +305,7 @@ class Engine {
 
     for (std::int64_t k = exec.send_begin[i]; k < exec.send_begin[i + 1]; ++k) {
       const std::int32_t msg = exec.send_msg[static_cast<std::size_t>(k)] + shift;
-      auto& ms = msg_state_[j][static_cast<std::size_t>(msg)];
+      auto& ms = ws_.msg_state[j][static_cast<std::size_t>(msg)];
       ms.sender_posted = ready;
       if (is_eager(job, msg)) {
         // Fire-and-forget: the flow departs regardless of the receiver and
@@ -216,7 +318,7 @@ class Engine {
     }
     for (std::int64_t k = exec.recv_begin[i]; k < exec.recv_begin[i + 1]; ++k) {
       const std::int32_t msg = exec.recv_msg[static_cast<std::size_t>(k)] + shift;
-      auto& ms = msg_state_[j][static_cast<std::size_t>(msg)];
+      auto& ms = ws_.msg_state[j][static_cast<std::size_t>(msg)];
       ms.receiver_posted = ready;
       if (ms.transfer_done) {
         // Eager payload already arrived; completing costs nothing extra.
@@ -236,25 +338,34 @@ class Engine {
   }
 
   void schedule_flow(std::int32_t job, std::int32_t msg, double post_time) {
-    auto& ms = msg_state_[static_cast<std::size_t>(job)][static_cast<std::size_t>(msg)];
+    auto& ms = ws_.msg_state[static_cast<std::size_t>(job)]
+                            [static_cast<std::size_t>(msg)];
     MR_ASSERT_INTERNAL(!ms.flow_scheduled);
     ms.flow_scheduled = true;
-    const MsgInfo& m = msg_info(job, msg);
     const double latency =
-        machine_.path_latency(core_of(job, m.src), core_of(job, m.dst));
-    push({post_time + latency, EventKind::StartFlow, job, msg});
+        reference_
+            ? machine_.path_latency(core_of(job, msg_info(job, msg).src),
+                                    core_of(job, msg_info(job, msg).dst))
+            : ws_.routes.latency(route_of(job, msg));
+    push({post_time + latency, detail::EventKind::StartFlow, job, msg});
   }
 
   void start_flow(std::int32_t job, std::int32_t msg) {
     const MsgInfo& m = msg_info(job, msg);
-    flows_.add_flow(simnet::flow_channels(machine_, core_of(job, m.src),
-                                          core_of(job, m.dst)),
-                    static_cast<double>(m.bytes()), encode({job, msg}));
+    if (reference_) {
+      ws_.flows.add_flow(
+          simnet::flow_channels(machine_, core_of(job, m.src),
+                                core_of(job, m.dst)),
+          static_cast<double>(m.bytes()), encode({job, msg}));
+    } else {
+      ws_.flows.add_flow(ws_.routes.channels(route_of(job, msg)),
+                         static_cast<double>(m.bytes()), encode({job, msg}));
+    }
   }
 
   void on_transfer_done(MsgKey key, double t) {
-    auto& ms = msg_state_[static_cast<std::size_t>(key.job)]
-                         [static_cast<std::size_t>(key.msg)];
+    auto& ms = ws_.msg_state[static_cast<std::size_t>(key.job)]
+                            [static_cast<std::size_t>(key.msg)];
     ms.transfer_done = true;
     ms.transfer_time = t;
     const MsgInfo& m = msg_info(key.job, key.msg);
@@ -270,8 +381,8 @@ class Engine {
   }
 
   void op_complete(std::int32_t job, std::int32_t rank, double t) {
-    auto& state =
-        rank_state_[static_cast<std::size_t>(job)][static_cast<std::size_t>(rank)];
+    auto& state = ws_.rank_state[static_cast<std::size_t>(job)]
+                                [static_cast<std::size_t>(rank)];
     MR_ASSERT_INTERNAL(state.posted && state.outstanding > 0);
     state.last_time = std::max(state.last_time, t);
     if (--state.outstanding == 0) {
@@ -280,33 +391,49 @@ class Engine {
   }
 
   void advance_rank(std::int32_t job, std::int32_t rank, double t) {
-    auto& state =
-        rank_state_[static_cast<std::size_t>(job)][static_cast<std::size_t>(rank)];
+    auto& state = ws_.rank_state[static_cast<std::size_t>(job)]
+                                [static_cast<std::size_t>(rank)];
     state.posted = false;
     ++state.round;
-    push({t, EventKind::PostRound, job, rank});
+    push({t, detail::EventKind::PostRound, job, rank});
   }
 
   void on_rank_finished(std::int32_t job, double t) {
-    auto& finish = finish_[static_cast<std::size_t>(job)];
+    auto& finish = ws_.finish[static_cast<std::size_t>(job)];
     finish = std::max(finish, t);
   }
 
   const topo::Machine& machine_;
   std::vector<JobView> jobs_;
-  simnet::FlowSim flows_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::vector<std::vector<MsgState>> msg_state_;
-  std::vector<std::vector<RankState>> rank_state_;
-  std::vector<double> finish_;
+  SimWorkspace::Impl& ws_;
+  bool reference_ = false;
+  std::int64_t route_hits_before_ = 0;
+  std::int64_t route_misses_before_ = 0;
   TimedResult result_;
 };
+
+/// Non-owning internal entry point: every public overload lands here with
+/// borrowed schedule/exec/binding pointers. A private workspace backs the
+/// run when the caller supplied none — and always in reference mode, whose
+/// contract is fresh allocations and a cold route path.
+TimedResult run_timed_views(const topo::Machine& machine,
+                            std::vector<JobView> views,
+                            const ExecOptions& options) {
+  std::optional<SimWorkspace> local;
+  SimWorkspace* ws = options.workspace;
+  if (ws == nullptr || options.reference) {
+    local.emplace();
+    ws = &*local;
+  }
+  Engine engine(machine, std::move(views), options, ws->impl());
+  return engine.run();
+}
 
 }  // namespace
 
 TimedResult run_timed(const topo::Machine& machine,
                       const std::vector<PlanJob>& jobs,
-                      double completion_slack) {
+                      const ExecOptions& options) {
   MR_EXPECT(!jobs.empty(), "need at least one job");
   std::vector<JobView> views;
   views.reserve(jobs.size());
@@ -316,13 +443,20 @@ TimedResult run_timed(const topo::Machine& machine,
                             job.plan->repetitions, &job.core_of_rank,
                             job.start_time});
   }
-  Engine engine(machine, std::move(views), completion_slack);
-  return engine.run();
+  return run_timed_views(machine, std::move(views), options);
+}
+
+TimedResult run_timed(const topo::Machine& machine,
+                      const std::vector<PlanJob>& jobs,
+                      double completion_slack) {
+  ExecOptions options;
+  options.completion_slack = completion_slack;
+  return run_timed(machine, jobs, options);
 }
 
 TimedResult run_timed(const topo::Machine& machine,
                       const std::vector<JobSpec>& jobs,
-                      double completion_slack) {
+                      const ExecOptions& options) {
   MR_EXPECT(!jobs.empty(), "need at least one job");
   // Ad-hoc schedules have not been through plan compilation; validate here
   // (plans are validated by their builders at compile time).
@@ -337,8 +471,15 @@ TimedResult run_timed(const topo::Machine& machine,
     views.push_back(JobView{job.schedule, &execs.back(), 1, &job.core_of_rank,
                             job.start_time});
   }
-  Engine engine(machine, std::move(views), completion_slack);
-  return engine.run();
+  return run_timed_views(machine, std::move(views), options);
+}
+
+TimedResult run_timed(const topo::Machine& machine,
+                      const std::vector<JobSpec>& jobs,
+                      double completion_slack) {
+  ExecOptions options;
+  options.completion_slack = completion_slack;
+  return run_timed(machine, jobs, options);
 }
 
 double run_timed_single(const topo::Machine& machine, const Schedule& schedule,
@@ -355,13 +496,12 @@ double run_timed_single(const topo::Machine& machine, const Schedule& schedule,
 double run_timed_plan_single(const topo::Machine& machine, const Plan& plan,
                              std::vector<std::int64_t> core_of_rank,
                              double completion_slack) {
-  PlanJob job;
-  // Non-owning alias: the plan outlives this call.
-  job.plan = std::shared_ptr<const Plan>(std::shared_ptr<const Plan>{}, &plan);
-  job.core_of_rank = std::move(core_of_rank);
-  const TimedResult result = run_timed(machine, std::vector<PlanJob>{job},
-                                       completion_slack);
-  return result.makespan;
+  ExecOptions options;
+  options.completion_slack = completion_slack;
+  std::vector<JobView> views;
+  views.push_back(JobView{&plan.schedule, &plan.exec, plan.repetitions,
+                          &core_of_rank, 0.0});
+  return run_timed_views(machine, std::move(views), options).makespan;
 }
 
 }  // namespace mr::simmpi

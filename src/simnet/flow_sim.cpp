@@ -2,41 +2,113 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 
 #include "mixradix/util/expect.hpp"
 
 namespace mr::simnet {
 namespace {
-// Bytes below which a flow counts as drained (guards rounding error).
-constexpr double kByteEpsilon = 1e-6;
-// Two completions within this window collapse into one event batch.
+// Tolerated backwards clock jitter in advance_to.
 constexpr double kTimeEpsilon = 1e-15;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool heap_later(const double a, const double b) { return a > b; }
 }  // namespace
 
-FlowSim::FlowSim(std::vector<double> capacities, double completion_slack)
-    : capacities_(std::move(capacities)), completion_slack_(completion_slack) {
-  for (double c : capacities_) {
+FlowSim::FlowSim(std::vector<double> capacities, double completion_slack) {
+  reset(capacities, completion_slack);
+}
+
+void FlowSim::reset(const std::vector<double>& capacities,
+                    double completion_slack, bool incremental) {
+  for (double c : capacities) {
     MR_EXPECT(c > 0, "channel capacity must be positive");
   }
-  MR_EXPECT(completion_slack_ >= 0 && completion_slack_ < 0.5,
+  MR_EXPECT(completion_slack >= 0 && completion_slack < 0.5,
             "completion slack must be in [0, 0.5)");
-  residual_.resize(capacities_.size());
-  load_.resize(capacities_.size());
-  flows_on_.resize(capacities_.size());
-  used_.resize(capacities_.size());
-  nflows_.resize(capacities_.size());
-  freed_.resize(capacities_.size());
-  by_channel_.resize(capacities_.size());
+  capacities_.assign(capacities.begin(), capacities.end());
+  completion_slack_ = completion_slack;
+  incremental_ = incremental;
+
+  const std::size_t nc = capacities_.size();
+  residual_.resize(nc);
+  load_.assign(nc, 0);
+  flows_on_.resize(nc);
+  used_.assign(nc, 0.0);
+  nflows_.assign(nc, 0);
+  freed_.assign(nc, 0.0);
+  // Keep the per-channel lists (and their heap blocks) alive across runs;
+  // only their contents reset.
+  if (by_channel_.size() > nc) by_channel_.resize(nc);
+  for (auto& list : by_channel_) list.clear();
+  by_channel_.resize(nc);
+
+  remaining_.clear();
+  rate_.clear();
+  deadline_.clear();
+  user_.clear();
+  ext_id_.clear();
+  chans_.clear();
+  ext_index_.clear();
+  ext_rate_.clear();
+  heap_.clear();
+  heap_live_ = false;
+  batch_.clear();
+
+  now_ = 0;
+  rates_dirty_ = true;
+  batches_since_full_ = 0;
+  stats_ = Stats{};
+}
+
+double FlowSim::current_remaining(std::size_t index) const {
+  const double r = rate_[index];
+  if (r == 0) return remaining_[index];  // never allocated: nothing drained
+  if (std::isinf(r)) return 0.0;
+  return std::max(0.0, r * (deadline_[index] - now_));
+}
+
+void FlowSim::assign_rate(std::size_t index, double rate) {
+  remaining_[index] = current_remaining(index);
+  rate_[index] = rate;
+  deadline_[index] =
+      std::isinf(rate) ? now_ : now_ + remaining_[index] / rate;
+  if (incremental_) heap_push(index);
+}
+
+void FlowSim::heap_push(std::size_t index) {
+  // In the scan regime the heap is not consulted: skip the push and mark
+  // the index stale so the first push back in the many-flow regime
+  // rebuilds it over the live flows.
+  if (remaining_.size() <= kScanFlows) {
+    heap_live_ = false;
+    return;
+  }
+  // Stale entries (flows gone, deadlines superseded) accumulate until they
+  // dominate, then one rebuild over the live flows resets the heap.
+  if (!heap_live_ || heap_.size() > 4 * remaining_.size() + 64) {
+    heap_.clear();
+    for (std::size_t i = 0; i < remaining_.size(); ++i) {
+      if (deadline_[i] < kInf) heap_.push_back({deadline_[i], ext_id_[i]});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), [](const auto& a, const auto& b) {
+      return heap_later(a.deadline, b.deadline);
+    });
+    heap_live_ = true;
+    return;  // `index` is live, so the rebuild already indexed it
+  }
+  heap_.push_back({deadline_[index], ext_id_[index]});
+  std::push_heap(heap_.begin(), heap_.end(), [](const auto& a, const auto& b) {
+    return heap_later(a.deadline, b.deadline);
+  });
 }
 
 std::int64_t FlowSim::add_flow(std::vector<ChannelId> channels, double bytes,
                                std::int64_t user) {
-  MR_EXPECT(bytes >= 0, "flow size must be non-negative");
   std::sort(channels.begin(), channels.end());
   channels.erase(std::unique(channels.begin(), channels.end()), channels.end());
-  MR_EXPECT(channels.size() <= kMaxChannelsPerFlow,
+  MR_EXPECT(channels.size() <= static_cast<std::size_t>(kMaxChannelsPerFlow),
             "flow crosses more channels than supported");
   ChanSet set;
   for (ChannelId c : channels) {
@@ -44,16 +116,30 @@ std::int64_t FlowSim::add_flow(std::vector<ChannelId> channels, double bytes,
               "channel id out of range");
     set.ids[static_cast<std::size_t>(set.count++)] = c;
   }
+  return add_flow(set, bytes, user);
+}
+
+std::int64_t FlowSim::add_interned(const ChanSet& channels, double bytes,
+                                   std::int64_t user) {
+  MR_EXPECT(bytes >= 0, "flow size must be non-negative");
+  MR_ASSERT_INTERNAL(channels.count >= 0 &&
+                     channels.count <= simnet::kMaxChannelsPerFlow);
   const auto ext = static_cast<std::int64_t>(ext_index_.size());
   ext_index_.push_back(static_cast<std::int64_t>(remaining_.size()) + 1);
   ext_rate_.push_back(0.0);
   remaining_.push_back(bytes);
   rate_.push_back(0.0);
+  deadline_.push_back(kInf);
   user_.push_back(user);
   ext_id_.push_back(ext);
-  chans_.push_back(set);
-  for (std::int32_t k = 0; k < set.count; ++k) {
-    const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
+  chans_.push_back(channels);
+  stats_.peak_active_flows =
+      std::max(stats_.peak_active_flows,
+               static_cast<std::int64_t>(remaining_.size()));
+  for (std::int32_t k = 0; k < channels.count; ++k) {
+    const auto ci =
+        static_cast<std::size_t>(channels.ids[static_cast<std::size_t>(k)]);
+    MR_ASSERT_INTERNAL(ci < capacities_.size());
     ++nflows_[ci];
     auto& list = by_channel_[ci];
     // Lazy compaction: purge completed entries once they dominate.
@@ -83,7 +169,7 @@ bool FlowSim::try_defer_allocation(std::size_t index) {
   if (completion_slack_ <= 0 || rates_dirty_) return false;
   const ChanSet& set = chans_[index];
   if (set.count == 0) {
-    rate_[index] = kInf;
+    assign_rate(index, kInf);
     return true;
   }
   double headroom = kInf;
@@ -99,7 +185,7 @@ bool FlowSim::try_defer_allocation(std::size_t index) {
     return false;
   }
   ++stats_.deferred_allocations;
-  rate_[index] = headroom;
+  assign_rate(index, headroom);
   for (std::int32_t k = 0; k < set.count; ++k) {
     const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
     used_[ci] += headroom;
@@ -135,7 +221,7 @@ bool FlowSim::steal_allocation(std::size_t index, double fair) {
       if (f == index || std::isinf(rate_[f])) continue;
       const double delta = rate_[f] * (1 - scale);
       if (delta <= 0) continue;
-      rate_[f] -= delta;
+      assign_rate(f, rate_[f] - delta);
       const ChanSet& vs = chans_[f];
       for (std::int32_t j = 0; j < vs.count; ++j) {
         const auto cj = static_cast<std::size_t>(vs.ids[static_cast<std::size_t>(j)]);
@@ -143,7 +229,7 @@ bool FlowSim::steal_allocation(std::size_t index, double fair) {
       }
     }
   }
-  rate_[index] = fair;
+  assign_rate(index, fair);
   for (std::int32_t k = 0; k < set.count; ++k) {
     const auto ci = static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)]);
     used_[ci] += fair;
@@ -174,12 +260,16 @@ void FlowSim::recompute_rates() {
     }
   }
 
+  // New rates build up in scratch so that a flow whose fair share did NOT
+  // change keeps its remaining/deadline state untouched (no re-projection,
+  // no rounding drift, no heap churn).
+  newrate_.resize(n);
   std::size_t unfrozen = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (chans_[i].count == 0) {
-      rate_[i] = kInf;
+      newrate_[i] = kInf;
     } else {
-      rate_[i] = -1.0;  // marker: not yet frozen
+      newrate_[i] = -1.0;  // marker: not yet frozen
       ++unfrozen;
     }
   }
@@ -216,8 +306,8 @@ void FlowSim::recompute_rates() {
       if (load_[ci] == 0 || residual_[ci] / load_[ci] > bound) continue;
       for (std::int32_t fi : flows_on_[ci]) {
         const auto f = static_cast<std::size_t>(fi);
-        if (rate_[f] >= 0) continue;  // already frozen
-        rate_[f] = s;
+        if (newrate_[f] >= 0) continue;  // already frozen
+        newrate_[f] = s;
         --unfrozen;
         const ChanSet& set = chans_[f];
         for (std::int32_t k = 0; k < set.count; ++k) {
@@ -230,51 +320,61 @@ void FlowSim::recompute_rates() {
     }
   }
 
+  // Apply only the rates that actually changed — everything else keeps its
+  // projected deadline, which is what keeps the completion heap lazy.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (newrate_[i] != rate_[i]) assign_rate(i, newrate_[i]);
+  }
+
   // Rebuild the incremental headroom bookkeeping used by deferred
-  // allocation, and reset the load scratch.
+  // allocation, and reset the load scratch. The filling loop already
+  // maintained residual = capacity - allocated per channel, so the used
+  // capacity falls out of it — no second pass over the flow-channel
+  // incidences.
   for (ChannelId c : touched_) {
     const auto ci = static_cast<std::size_t>(c);
     load_[ci] = 0;
-    used_[ci] = 0;
+    used_[ci] = capacities_[ci] - residual_[ci];
     freed_[ci] = 0;
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (std::isinf(rate_[i])) continue;
-    const ChanSet& set = chans_[i];
-    for (std::int32_t k = 0; k < set.count; ++k) {
-      used_[static_cast<std::size_t>(set.ids[static_cast<std::size_t>(k)])] += rate_[i];
-    }
-  }
-}
-
-void FlowSim::drain(double dt) {
-  if (dt <= 0) return;
-  const std::size_t n = remaining_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    remaining_[i] = std::max(0.0, remaining_[i] - rate_[i] * dt);
   }
 }
 
 std::optional<double> FlowSim::next_completion_time() {
   if (remaining_.empty()) return std::nullopt;
   recompute_rates();
-  double best = kInf;
-  const std::size_t n = remaining_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (remaining_[i] <= kByteEpsilon || std::isinf(rate_[i])) {
-      best = 0;
-    } else {
-      MR_ASSERT_INTERNAL(rate_[i] > 0);
-      best = std::min(best, remaining_[i] / rate_[i]);
+  if (!incremental_ || remaining_.size() <= kScanFlows || !heap_live_) {
+    // Reference mode and the few-flow regime: O(active flows) scan. min()
+    // over doubles is exact, so the scan and the heap below yield the
+    // same double.
+    double best = kInf;
+    const std::size_t n = remaining_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      MR_ASSERT_INTERNAL(rate_[i] > 0);  // recompute allocated every flow
+      best = std::min(best, deadline_[i]);
     }
+    return std::max(now_, best);
   }
-  return now_ + best;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    const std::int64_t slot = ext_index_[static_cast<std::size_t>(top.ext)];
+    if (slot != 0 &&
+        deadline_[static_cast<std::size_t>(slot - 1)] == top.deadline) {
+      return std::max(now_, top.deadline);
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), [](const auto& a, const auto& b) {
+      return heap_later(a.deadline, b.deadline);
+    });
+    heap_.pop_back();
+  }
+  MR_ASSERT_INTERNAL(false);  // every active flow has a live heap entry
+  return std::nullopt;
 }
 
 void FlowSim::advance_to(double t) {
   MR_EXPECT(t >= now_ - kTimeEpsilon, "cannot advance backwards");
   recompute_rates();
-  drain(t - now_);
+  // The drain is implicit: every allocated flow carries its absolute
+  // deadline, so moving the clock is all that is needed.
   now_ = std::max(now_, t);
 }
 
@@ -306,6 +406,7 @@ void FlowSim::remove_active(std::size_t index) {
   if (index != last) {
     remaining_[index] = remaining_[last];
     rate_[index] = rate_[last];
+    deadline_[index] = deadline_[last];
     user_[index] = user_[last];
     ext_id_[index] = ext_id_[last];
     chans_[index] = chans_[last];
@@ -314,6 +415,7 @@ void FlowSim::remove_active(std::size_t index) {
   }
   remaining_.pop_back();
   rate_.pop_back();
+  deadline_.pop_back();
   user_.pop_back();
   ext_id_.pop_back();
   chans_.pop_back();
@@ -329,14 +431,35 @@ std::vector<Completion> FlowSim::advance_and_pop() {
   // Completion-slack batching: flows whose residual transfer time is within
   // slack * elapsed-horizon finish in this batch, slightly early.
   const double merge_window = completion_slack_ * (now_ - before);
-  // Drain rounding: a flow "completes" when its remaining bytes dip under
-  // the epsilon, or instantly when unconstrained. Iterate backwards so the
-  // swap-remove never skips an element.
-  for (std::size_t i = remaining_.size(); i-- > 0;) {
-    if (remaining_[i] > kByteEpsilon && !std::isinf(rate_[i]) &&
-        !(rate_[i] > 0 && remaining_[i] / rate_[i] <= merge_window)) {
-      continue;
+  const double threshold = now_ + merge_window;
+  batch_.clear();
+  if (!incremental_ || remaining_.size() <= kScanFlows || !heap_live_) {
+    // Reference mode and the few-flow regime: backwards scan, exactly the
+    // swap-removal-safe order.
+    for (std::size_t i = remaining_.size(); i-- > 0;) {
+      if (deadline_[i] <= threshold) batch_.push_back(i);
     }
+  } else {
+    auto later = [](const HeapEntry& a, const HeapEntry& b) {
+      return heap_later(a.deadline, b.deadline);
+    };
+    while (!heap_.empty() && heap_.front().deadline <= threshold) {
+      const HeapEntry top = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      heap_.pop_back();
+      const std::int64_t slot = ext_index_[static_cast<std::size_t>(top.ext)];
+      if (slot != 0 &&
+          deadline_[static_cast<std::size_t>(slot - 1)] == top.deadline) {
+        batch_.push_back(static_cast<std::size_t>(slot - 1));
+      }
+    }
+    // Match the reference scan bit for bit: complete in descending slot
+    // order (this is also what makes the interleaved swap-removal safe),
+    // one completion per flow even if its deadline was re-pushed.
+    std::sort(batch_.begin(), batch_.end(), std::greater<>{});
+    batch_.erase(std::unique(batch_.begin(), batch_.end()), batch_.end());
+  }
+  for (std::size_t i : batch_) {
     done.push_back(Completion{ext_id_[i], user_[i], now_});
     remove_active(i);
   }

@@ -1,0 +1,55 @@
+#include "mixradix/simnet/route_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mixradix/simnet/path.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::simnet {
+
+void RouteTable::bind(const topo::Machine& machine) {
+  machine_ = &machine;
+  index_.clear();
+  channels_.clear();
+  latency_.clear();
+  stats_ = Stats{};
+}
+
+void RouteTable::clear() {
+  index_.clear();
+  channels_.clear();
+  latency_.clear();
+}
+
+RouteTable::RouteId RouteTable::route(std::int64_t src, std::int64_t dst) {
+  MR_EXPECT(machine_ != nullptr, "RouteTable used before bind()");
+  MR_EXPECT(src >= 0 && src < machine_->cores() && dst >= 0 &&
+                dst < machine_->cores(),
+            "core id out of range for the bound machine");
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) |
+                            static_cast<std::uint64_t>(dst);
+  const auto [it, inserted] =
+      index_.try_emplace(key, static_cast<RouteId>(channels_.size()));
+  if (!inserted) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  std::vector<ChannelId> ids = flow_channels(*machine_, src, dst);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  MR_ASSERT_INTERNAL(ids.size() <= static_cast<std::size_t>(kMaxChannelsPerFlow));
+  ChanSet set;
+  for (ChannelId c : ids) {
+    MR_ASSERT_INTERNAL(c >= 0);
+    set.ids[static_cast<std::size_t>(set.count++)] = c;
+  }
+  MR_ASSERT_INTERNAL(channels_.size() <
+                     static_cast<std::size_t>(std::numeric_limits<RouteId>::max()));
+  channels_.push_back(set);
+  latency_.push_back(machine_->path_latency(src, dst));
+  return it->second;
+}
+
+}  // namespace mr::simnet

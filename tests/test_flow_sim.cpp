@@ -100,6 +100,108 @@ TEST(FlowSim, StaggeredArrival) {
   EXPECT_DOUBLE_EQ(done[0].time, 6.0);
 }
 
+TEST(FlowSim, InternedChanSetOverloadMatchesVectorOverload) {
+  // The RouteTable fast path hands FlowSim pre-sorted inline channel sets;
+  // both entry points must produce identical flows.
+  FlowSim via_vector({100.0, 30.0});
+  FlowSim via_set({100.0, 30.0});
+  ChanSet set;
+  set.ids[0] = 0;
+  set.ids[1] = 1;
+  set.count = 2;
+  const auto fv = via_vector.add_flow({0, 1}, 300.0, 2);
+  const auto fs = via_set.add_flow(set, 300.0, 2);
+  EXPECT_EQ(via_set.flow_rate(fs), via_vector.flow_rate(fv));
+  const auto done_vector = via_vector.advance_and_pop();
+  const auto done_set = via_set.advance_and_pop();
+  ASSERT_EQ(done_set.size(), 1u);
+  EXPECT_EQ(done_set[0].time, done_vector[0].time);
+}
+
+TEST(FlowSim, StealScalesVictimsToTheFairShare) {
+  // Deferred-mode steal: rates are clean, the newcomer's fair share is not
+  // available as headroom, so the victims on the saturated channel scale
+  // down proportionally and the newcomer gets exactly its fair share.
+  FlowSim sim({100.0}, 0.01);
+  const auto a = sim.add_flow({0}, 1000.0, 1);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(a), 100.0);  // recompute: rates now clean
+  const auto b = sim.add_flow({0}, 1000.0, 2);  // headroom 0 -> steal
+  EXPECT_DOUBLE_EQ(sim.flow_rate(a), 50.0);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(b), 50.0);
+  EXPECT_EQ(sim.stats().full_recomputes, 1);  // no exact pass triggered
+  EXPECT_EQ(sim.stats().deferred_rejections, 0);
+}
+
+TEST(FlowSim, StealRefusesCrowdedChannelsAndFallsBackToExact) {
+  // A channel with more than 64 victims makes the proportional scaling
+  // pass worth less than the exact recompute: the steal must refuse and
+  // count a rejection, and the next query must deliver exact fairness.
+  FlowSim sim({4290.0}, 0.01);  // 4290 = 65 * 66: both shares exact
+  for (int i = 0; i < 65; ++i) sim.add_flow({0}, 1e6, i);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(0), 66.0);  // 4290 / 65, rates now clean
+  const auto late = sim.add_flow({0}, 1e6, 65);
+  EXPECT_EQ(sim.stats().deferred_rejections, 1);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(late), 65.0);  // exact pass: 4290 / 66
+  EXPECT_EQ(sim.stats().full_recomputes, 2);
+}
+
+TEST(FlowSim, FlowRateQueryableAfterCompletion) {
+  FlowSim sim({100.0});
+  const auto a = sim.add_flow({0}, 100.0, 1);
+  const auto b = sim.add_flow({0}, 300.0, 2);
+  (void)sim.advance_and_pop();  // a completes at its last rate, 50 B/s
+  EXPECT_DOUBLE_EQ(sim.flow_rate(a), 50.0);
+  (void)sim.advance_and_pop();  // b finishes alone at full capacity
+  EXPECT_DOUBLE_EQ(sim.flow_rate(b), 100.0);
+  EXPECT_EQ(sim.active_flows(), 0u);
+}
+
+TEST(FlowSim, ChannelListsCompactUnderSequentialChurn) {
+  // Hundreds of short flows over one channel leave dead entries in the
+  // per-channel list; the lazy compaction must keep the simulation exact
+  // while the list is repeatedly purged.
+  FlowSim sim({100.0}, 0.01);
+  double last = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.add_flow({0}, 100.0, i);
+    const auto done = sim.advance_and_pop();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].user, i);
+    last = done[0].time;
+  }
+  EXPECT_DOUBLE_EQ(last, 200.0);  // 1 s per flow, no time lost to churn
+  EXPECT_EQ(sim.active_flows(), 0u);
+}
+
+TEST(FlowSim, HeapRegimeMatchesReferenceScan) {
+  // Above kScanFlows active flows the incremental tracker switches from
+  // the reference scan to the lazy deadline heap; completions must stay
+  // bit-identical between the two modes through the regime crossing
+  // (100 flows down to 0).
+  std::vector<double> caps(100, 100.0);
+  std::vector<std::vector<Completion>> runs;
+  for (const bool incremental : {true, false}) {
+    FlowSim sim;
+    sim.reset(caps, 0.0, incremental);
+    for (int i = 0; i < 100; ++i) {
+      sim.add_flow({static_cast<ChannelId>(i)}, 100.0 * (i + 1), i);
+    }
+    std::vector<Completion> done;
+    while (sim.active_flows() > 0) {
+      const auto batch = sim.advance_and_pop();
+      done.insert(done.end(), batch.begin(), batch.end());
+    }
+    runs.push_back(std::move(done));
+  }
+  ASSERT_EQ(runs[0].size(), 100u);
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].user, runs[1][i].user);
+    EXPECT_EQ(runs[0][i].time, runs[1][i].time);  // exact, not NEAR
+    EXPECT_DOUBLE_EQ(runs[0][i].time, static_cast<double>(i + 1));
+  }
+}
+
 // Topology paths: verify channel lists against the machine structure.
 TEST(Path, SelfMessageHasNoChannels) {
   const auto m = topo::testbox();

@@ -1,0 +1,125 @@
+// RouteTable: per-machine interning of (src_core, dst_core) channel sets
+// and path latencies for the timed-executor hot path. The table must be a
+// pure cache — byte-for-byte the same answers as deriving the route per
+// message with flow_channels()/path_latency() — on every machine preset.
+#include "mixradix/simnet/route_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mixradix/simnet/path.hpp"
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::simnet {
+namespace {
+
+std::vector<ChannelId> as_vector(const ChanSet& set) {
+  return {set.ids.begin(), set.ids.begin() + set.count};
+}
+
+std::vector<ChannelId> derived(const topo::Machine& m, std::int64_t src,
+                               std::int64_t dst) {
+  std::vector<ChannelId> ids = flow_channels(m, src, dst);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<std::pair<std::string, topo::Machine>> presets() {
+  std::vector<std::pair<std::string, topo::Machine>> machines;
+  machines.emplace_back("testbox", topo::testbox());
+  machines.emplace_back("hydra(4)", topo::hydra(4));
+  machines.emplace_back("hydra_node", topo::hydra_node());
+  machines.emplace_back("lumi(2)", topo::lumi(2));
+  machines.emplace_back("lumi_node", topo::lumi_node());
+  machines.emplace_back("generic(2,2,2)", topo::generic(2, 2, 2));
+  return machines;
+}
+
+TEST(RouteTable, MatchesFlowChannelsOnEveryPreset) {
+  for (const auto& [name, m] : presets()) {
+    RouteTable table;
+    table.bind(m);
+    // Every core pair on the smaller machines; a strided sample on the
+    // bigger ones keeps the test fast without losing level coverage.
+    const std::int64_t n = m.cores();
+    const std::int64_t stride = n > 64 ? 7 : 1;
+    for (std::int64_t src = 0; src < n; src += stride) {
+      for (std::int64_t dst = 0; dst < n; dst += stride) {
+        const auto id = table.route(src, dst);
+        EXPECT_EQ(as_vector(table.channels(id)), derived(m, src, dst))
+            << name << " route " << src << " -> " << dst;
+        EXPECT_EQ(table.latency(id), m.path_latency(src, dst))
+            << name << " latency " << src << " -> " << dst;
+      }
+    }
+  }
+}
+
+TEST(RouteTable, InternsOncePerPair) {
+  const auto m = topo::testbox();
+  RouteTable table;
+  table.bind(m);
+  const auto a = table.route(0, 5);
+  const auto b = table.route(0, 5);
+  const auto c = table.route(5, 0);  // direction matters: distinct route
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.stats().misses, 2);
+  EXPECT_EQ(table.stats().hits, 1);
+}
+
+TEST(RouteTable, SelfRouteIsEmptyWithZeroLatency) {
+  const auto m = topo::testbox();
+  RouteTable table;
+  table.bind(m);
+  const auto id = table.route(3, 3);
+  EXPECT_EQ(table.channels(id).count, 0);
+  EXPECT_EQ(table.latency(id), m.path_latency(3, 3));
+}
+
+TEST(RouteTable, ClearKeepsBindingAndCounters) {
+  const auto m = topo::testbox();
+  RouteTable table;
+  table.bind(m);
+  (void)table.route(0, 1);
+  (void)table.route(0, 1);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stats().hits, 1);  // counters survive clear()
+  const auto id = table.route(0, 1);  // still bound: re-derives
+  EXPECT_EQ(as_vector(table.channels(id)), derived(m, 0, 1));
+  EXPECT_EQ(table.stats().misses, 2);
+}
+
+TEST(RouteTable, RebindEquivalentKeepsInternedRoutes) {
+  const auto m1 = topo::testbox();
+  const auto m2 = topo::testbox();  // distinct instance, same parameters
+  RouteTable table;
+  table.bind(m1);
+  const auto id = table.route(0, 9);
+  table.rebind_equivalent(m2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.route(0, 9), id);  // served from the table
+  EXPECT_EQ(table.stats().hits, 1);
+  EXPECT_EQ(as_vector(table.channels(id)), derived(m2, 0, 9));
+}
+
+TEST(RouteTable, ValidatesUseBeforeBindAndCoreRange) {
+  RouteTable unbound;
+  EXPECT_THROW(unbound.route(0, 1), invalid_argument);
+  const auto m = topo::testbox();
+  RouteTable table;
+  table.bind(m);
+  EXPECT_THROW(table.route(-1, 0), invalid_argument);
+  EXPECT_THROW(table.route(0, m.cores()), invalid_argument);
+}
+
+}  // namespace
+}  // namespace mr::simnet

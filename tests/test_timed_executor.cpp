@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <random>
+#include <vector>
+
 #include "mixradix/simmpi/collectives.hpp"
 #include "mixradix/topo/presets.hpp"
 #include "mixradix/util/expect.hpp"
@@ -236,6 +241,158 @@ TEST(TimedExecutor, ReportsFlowSimStats) {
   EXPECT_GE(result.flow_stats.full_recomputes, 1);
   EXPECT_GE(result.flow_stats.pop_batches, 1);
   EXPECT_LE(result.flow_stats.pop_batches, result.total_flow_events);
+}
+
+TEST(TimedExecutorEvent, ComparatorIsATotalOrder) {
+  // Every field must participate: two distinct events never compare equal
+  // both ways, and the order is transitive by construction (lexicographic).
+  using detail::Event;
+  using detail::EventKind;
+  const std::vector<Event> distinct = {
+      {1.0, EventKind::PostRound, 0, 0}, {1.0, EventKind::PostRound, 0, 1},
+      {1.0, EventKind::PostRound, 1, 0}, {1.0, EventKind::StartFlow, 0, 0},
+      {2.0, EventKind::PostRound, 0, 0},
+  };
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    for (std::size_t j = 0; j < distinct.size(); ++j) {
+      if (i == j) {
+        EXPECT_FALSE(distinct[i] > distinct[j]);
+      } else {
+        EXPECT_NE(distinct[i] > distinct[j], distinct[j] > distinct[i])
+            << "events " << i << " and " << j << " must be strictly ordered";
+      }
+    }
+  }
+}
+
+TEST(TimedExecutorEvent, PopOrderIndependentOfPushOrder) {
+  // Simultaneous events (equal times) must pop in the same deterministic
+  // order no matter how they were pushed — a std::priority_queue with a
+  // partial order would leave ties to incidental heap history.
+  using detail::Event;
+  using detail::EventKind;
+  std::vector<Event> events;
+  for (const double time : {0.0, 1.0}) {
+    for (const auto kind : {EventKind::PostRound, EventKind::StartFlow}) {
+      for (std::int32_t job = 0; job < 2; ++job) {
+        for (std::int32_t a = 0; a < 2; ++a) {
+          events.push_back(Event{time, kind, job, a});
+        }
+      }
+    }
+  }
+  auto pop_sequence = [](std::vector<Event> heap) {
+    std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+    std::vector<Event> out;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      out.push_back(heap.back());
+      heap.pop_back();
+    }
+    return out;
+  };
+  const auto baseline = pop_sequence(events);
+  std::vector<Event> permuted = events;
+  std::mt19937 rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(permuted.begin(), permuted.end(), rng);
+    const auto popped = pop_sequence(permuted);
+    ASSERT_EQ(popped.size(), baseline.size());
+    for (std::size_t i = 0; i < popped.size(); ++i) {
+      EXPECT_EQ(popped[i].time, baseline[i].time);
+      EXPECT_EQ(popped[i].kind, baseline[i].kind);
+      EXPECT_EQ(popped[i].job, baseline[i].job);
+      EXPECT_EQ(popped[i].a, baseline[i].a);
+    }
+  }
+}
+
+TEST(TimedExecutor, ReferenceEngineIsBitIdentical) {
+  const auto m = topo::testbox();
+  const Schedule coll = alltoall_pairwise(8, 16384);
+  std::vector<JobSpec> jobs;
+  for (int c = 0; c < 2; ++c) {
+    jobs.push_back(JobSpec{&coll, {8 * c, 8 * c + 1, 8 * c + 2, 8 * c + 3,
+                                   8 * c + 4, 8 * c + 5, 8 * c + 6, 8 * c + 7},
+                           0.0});
+  }
+  for (const double slack : {kDefaultCompletionSlack, 0.0}) {
+    ExecOptions optimized;
+    optimized.completion_slack = slack;
+    ExecOptions reference = optimized;
+    reference.reference = true;
+    const TimedResult fast = run_timed(m, jobs, optimized);
+    const TimedResult exact = run_timed(m, jobs, reference);
+    EXPECT_EQ(fast.makespan, exact.makespan);  // exact, not NEAR
+    ASSERT_EQ(fast.job_finish.size(), exact.job_finish.size());
+    for (std::size_t j = 0; j < fast.job_finish.size(); ++j) {
+      EXPECT_EQ(fast.job_finish[j], exact.job_finish[j]);
+    }
+    EXPECT_EQ(fast.total_flow_events, exact.total_flow_events);
+  }
+}
+
+TEST(TimedExecutor, WorkspaceReuseIsBitIdenticalAndKeepsRoutes) {
+  const auto m = topo::testbox();
+  const Schedule coll = alltoall_pairwise(8, 16384);
+  JobSpec job{&coll, {0, 2, 4, 6, 8, 10, 12, 14}, 0.0};
+  const TimedResult fresh = run_timed(m, {job});
+
+  SimWorkspace workspace;
+  ExecOptions options;
+  options.workspace = &workspace;
+  const TimedResult cold = run_timed(m, {job}, options);
+  const TimedResult warm = run_timed(m, {job}, options);
+  EXPECT_EQ(cold.makespan, fresh.makespan);
+  EXPECT_EQ(warm.makespan, fresh.makespan);
+  // The cold run interns every distinct core pair; the warm run must be
+  // served entirely from the table.
+  EXPECT_GT(cold.engine_stats.route_cache_misses, 0);
+  EXPECT_GT(warm.engine_stats.route_cache_hits, 0);
+  EXPECT_EQ(warm.engine_stats.route_cache_misses, 0);
+}
+
+TEST(TimedExecutor, WorkspaceSurvivesEquivalentAndChangedMachines) {
+  const Schedule coll = alltoall_pairwise(4, 4096);
+  JobSpec job{&coll, {0, 1, 2, 3}, 0.0};
+  SimWorkspace workspace;
+  ExecOptions options;
+  options.workspace = &workspace;
+
+  const auto m1 = topo::testbox();
+  const TimedResult first = run_timed(m1, {job}, options);
+  // A fresh-but-equivalent Machine instance keeps the interned routes
+  // (binding follows the fingerprint, not the object identity).
+  const auto m2 = topo::testbox();
+  const TimedResult equivalent = run_timed(m2, {job}, options);
+  EXPECT_EQ(equivalent.makespan, first.makespan);
+  EXPECT_EQ(equivalent.engine_stats.route_cache_misses, 0);
+
+  // A machine with different parameters forces a rebind; results must
+  // match a workspace-free run on that machine.
+  const auto changed = topo::hydra_node();
+  const TimedResult rebound = run_timed(changed, {job}, options);
+  EXPECT_GT(rebound.engine_stats.route_cache_misses, 0);
+  EXPECT_EQ(rebound.makespan, run_timed(changed, {job}).makespan);
+
+  // And returning to the first machine re-interns (the table tracks ONE
+  // machine), still bit-identically.
+  const TimedResult back = run_timed(m1, {job}, options);
+  EXPECT_EQ(back.makespan, first.makespan);
+}
+
+TEST(TimedExecutor, ReportsEngineStats) {
+  const auto m = topo::testbox();
+  const Schedule coll = alltoall_pairwise(8, 16384);
+  JobSpec job{&coll, {0, 1, 2, 3, 4, 5, 6, 7}, 0.0};
+  const TimedResult result = run_timed(m, {job});
+  EXPECT_GT(result.engine_stats.events_processed, 0);
+  EXPECT_GT(result.engine_stats.peak_event_queue, 0);
+  EXPECT_GT(result.flow_stats.peak_active_flows, 0);
+  // Every message looked its route up exactly once somewhere.
+  EXPECT_EQ(result.engine_stats.route_cache_hits +
+                result.engine_stats.route_cache_misses,
+            result.total_messages);
 }
 
 }  // namespace
