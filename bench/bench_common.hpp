@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mixradix/harness/microbench.hpp"
+#include "mixradix/mr/equivalence.hpp"
 #include "mixradix/simmpi/plan_cache.hpp"
 #include "mixradix/util/thread_pool.hpp"
 
@@ -118,6 +119,25 @@ inline void print_engine_counters(std::ostream& os,
        << "% interned)";
   }
   os << "\n";
+}
+
+/// Enumeration-kernel counter line in the style of the plan-cache and
+/// engine stats lines: one classification run's throughput and hash-group
+/// verification counters (signatures hashed, collision checks performed,
+/// genuine 128-bit collisions — expected 0).
+inline void print_kernel_counters(std::ostream& os, const std::string& label,
+                                  const mr::ClassifyStats& stats,
+                                  double seconds) {
+  os << "kernels[" << label << "]: " << stats.orders << " orders -> "
+     << stats.classes << " classes in " << seconds << " s";
+  if (seconds > 0) {
+    os << " (" << static_cast<std::int64_t>(
+                      static_cast<double>(stats.orders) / seconds + 0.5)
+       << " orders/s)";
+  }
+  os << ", " << stats.signatures_hashed << " signatures hashed, "
+     << stats.collision_checks << " collision checks ("
+     << stats.hash_collisions << " hash collisions)\n";
 }
 
 inline void emit(const std::string& figure, const Options& opts,

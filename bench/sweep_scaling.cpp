@@ -41,6 +41,17 @@ int main(int argc, char** argv) {
   if (opts.max_size == 512ll << 20) opts.max_size = 8ll << 20;  // bench default
   const auto machine = mr::topo::hydra(16);
 
+  // The screening step a real enumeration starts with: classify the order
+  // space once so the kernel counters sit next to the sweep timings
+  // (bench/enum_scaling measures this phase in isolation and at depth 7/8).
+  mr::ClassifyStats classify_stats;
+  const auto classify_start = std::chrono::steady_clock::now();
+  (void)mr::classify_orders(machine.hierarchy(), 16,
+                            mr::Equivalence::SameSetsAndInternal, 0,
+                            mr::MetricsImpl::Fast, &classify_stats);
+  bench::print_kernel_counters(std::cout, "hydra16-classify", classify_stats,
+                               seconds_since(classify_start));
+
   mr::harness::SweepConfig config;
   config.orders = {
       mr::parse_order("0-1-2-3"), mr::parse_order("2-1-0-3"),

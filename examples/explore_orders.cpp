@@ -1,13 +1,17 @@
 // Order-space exploration: metrics and equivalence classes without any
 // simulation (§3.3's "do not evaluate all h! permutations" message).
 //
-//   $ ./explore_orders [hierarchy] [comm_size]
+//   $ ./explore_orders [hierarchy] [comm_size] [fast|reference]
 //   $ ./explore_orders 16:2:2:8 16
 //
 // Prints, for a hierarchy given on the command line, the equivalence
 // classes of orders at each granularity and the metric tuple of each class
 // representative — the screening step before any expensive benchmarking.
+// The optional third argument selects the classifier: the hashed
+// closed-form fast path (default) or the map-based reference; the classes
+// printed are identical, only the kernel counters differ.
 #include <iostream>
+#include <string>
 
 #include "mixradix/mr/equivalence.hpp"
 #include "mixradix/util/strings.hpp"
@@ -18,15 +22,23 @@ int main(int argc, char** argv) {
   const Hierarchy h =
       argc > 1 ? Hierarchy::parse(argv[1]) : Hierarchy{16, 2, 2, 8};
   const std::int64_t comm_size = argc > 2 ? std::stoll(argv[2]) : 16;
+  const MetricsImpl impl = argc > 3 && std::string(argv[3]) == "reference"
+                               ? MetricsImpl::Reference
+                               : MetricsImpl::Fast;
 
   std::cout << "hierarchy " << h.to_string() << ", " << h.total()
             << " processes, subcommunicators of " << comm_size << "\n";
-  std::cout << factorial(h.depth()) << " orders total\n\n";
+  std::cout << factorial(h.depth()) << " orders total ("
+            << (impl == MetricsImpl::Fast ? "hashed fast" : "map-based reference")
+            << " classifier)\n\n";
 
-  const auto exact = classify_orders(h, comm_size, Equivalence::ExactPlacement);
+  const auto exact =
+      classify_orders(h, comm_size, Equivalence::ExactPlacement, 0, impl);
   const auto internal =
-      classify_orders(h, comm_size, Equivalence::SameSetsAndInternal);
-  const auto sets = classify_orders(h, comm_size, Equivalence::SameSetsOnly);
+      classify_orders(h, comm_size, Equivalence::SameSetsAndInternal, 0, impl);
+  ClassifyStats stats;
+  const auto sets =
+      classify_orders(h, comm_size, Equivalence::SameSetsOnly, 0, impl, &stats);
 
   std::cout << "distinct placements:                     " << exact.size() << "\n";
   std::cout << "distinct (comm sets + internal order):   " << internal.size()
@@ -41,6 +53,12 @@ int main(int argc, char** argv) {
       std::cout << " " << order_to_string(member);
     }
     std::cout << "\n";
+  }
+  if (impl == MetricsImpl::Fast) {
+    std::cout << "\ncore-set pass kernels: " << stats.signatures_hashed
+              << " signatures hashed, " << stats.collision_checks
+              << " collision checks, " << stats.hash_collisions
+              << " hash collisions\n";
   }
   std::cout << "\nwithin one core-set class, members differing in ring cost "
                "can still\nperform differently for rank-order-sensitive "

@@ -21,13 +21,24 @@ namespace {
 int usage() {
   std::cerr <<
       "usage: mrenum <command> [--hierarchy H] [--order O] [--rank R]\n"
-      "              [--nprocs N] [--comm-size S]\n"
+      "              [--nprocs N] [--comm-size S] [--metrics fast|reference]\n"
       "commands:\n"
       "  rank      new rank of --rank under --order\n"
       "  rankfile  Open MPI rankfile realising --order on --hierarchy\n"
       "  map_cpu   Slurm --cpu-bind list selecting --nprocs cores per node\n"
-      "  orders    all orders with metrics and Slurm equivalents\n";
+      "  orders    all orders with metrics and Slurm equivalents\n"
+      "flags:\n"
+      "  --metrics fast|reference   metric kernels for `orders`: closed-form\n"
+      "                             (default) or the brute-force reference;\n"
+      "                             the output is identical either way\n";
   return 2;
+}
+
+mr::MetricsImpl parse_metrics_impl(const std::string& value) {
+  if (value == "fast") return mr::MetricsImpl::Fast;
+  if (value == "reference") return mr::MetricsImpl::Reference;
+  throw mr::invalid_argument("--metrics must be 'fast' or 'reference', got '" +
+                             value + "'");
 }
 
 }  // namespace
@@ -64,8 +75,9 @@ int main(int argc, char** argv) {
     } else if (command == "orders") {
       const std::int64_t comm_size =
           std::stoll(flag("comm-size", std::to_string(h.total()).c_str()));
+      const MetricsImpl impl = parse_metrics_impl(flag("metrics", "fast"));
       for (const Order& order : all_orders_lexicographic(h.depth())) {
-        const auto ch = characterize_order(h, order, comm_size);
+        const auto ch = characterize_order(h, order, comm_size, impl);
         const auto dist = slurm::equivalent_distribution(h, order);
         std::cout << ch.to_string() << "  distribution="
                   << (dist ? dist->to_string() : "-") << "\n";

@@ -38,17 +38,41 @@ struct OrderClass {
   OrderCharacter representative;  ///< metrics of members.front().
 };
 
+/// Kernel counters of one classification run, reported by the enumeration
+/// benches (bench::print_kernel_counters). The hashed fast path hashes one
+/// 128-bit signature per order and then proves every hash group sound by
+/// comparing real signatures (collision_checks); hash_collisions counts
+/// groups that had to be split because distinct signatures shared a hash —
+/// expected to be 0, but handled correctly if it ever happens.
+struct ClassifyStats {
+  std::int64_t orders = 0;            ///< orders classified (= h!).
+  std::int64_t classes = 0;           ///< equivalence classes found.
+  std::int64_t signatures_hashed = 0; ///< pass-1 hashes (0 on the map path).
+  std::int64_t collision_checks = 0;  ///< real-signature comparisons in pass 2.
+  std::int64_t hash_collisions = 0;   ///< groups split on a real mismatch.
+};
+
 /// Partition all h.depth()! orders into equivalence classes at the given
 /// granularity. Classes are sorted by their representative order.
 /// Signature computation is chunked across the shared thread pool;
 /// `threads`: 0 = util::ThreadPool::default_threads(), 1 = serial
 /// in-thread, N = at most N concurrent workers. The classification is
 /// identical for every thread count.
+///
+/// `impl` selects the grouping machinery (byte-identical results either
+/// way): MetricsImpl::Fast groups by a 128-bit signature hash computed
+/// over the thread pool into reusable flat buffers, verifies each group
+/// against the real signatures, and characterizes representatives with the
+/// closed-form kernels; MetricsImpl::Reference is the original
+/// map-of-placement-vectors classifier kept as the differential baseline.
 std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
-                                        Equivalence granularity, int threads = 0);
+                                        Equivalence granularity, int threads = 0,
+                                        MetricsImpl impl = MetricsImpl::Fast,
+                                        ClassifyStats* stats = nullptr);
 
 /// Representatives only — the reduced set of orders worth benchmarking.
 std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
-                                   Equivalence granularity, int threads = 0);
+                                   Equivalence granularity, int threads = 0,
+                                   MetricsImpl impl = MetricsImpl::Fast);
 
 }  // namespace mr

@@ -35,6 +35,14 @@ Order compose_orders(const Order& a, const Order& b);
 /// itertools.permutations() order used by the paper's companion scripts).
 std::vector<Order> all_orders_lexicographic(int n);
 
+/// The `index`-th permutation of [0, n) in lexicographic order (the
+/// factorial number system unranking), without materialising the other
+/// n! - 1: all_orders_lexicographic(n)[index] == nth_order_lexicographic(n,
+/// index). Lets shards of the order space be enumerated independently
+/// (e.g. chunked benches or distributed classification). `index` must lie
+/// in [0, n!).
+Order nth_order_lexicographic(int n, long long index);
+
 /// All n! permutations in the order produced by Heap's algorithm [8].
 std::vector<Order> all_orders_heap(int n);
 

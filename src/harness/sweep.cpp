@@ -37,9 +37,13 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
     const std::size_t oi = task / nsizes;
     const std::size_t si = task % nsizes;
     if (si == 0) {
-      out[oi].character = characterize_order(machine.hierarchy(),
-                                             config.orders[oi],
-                                             config.comm_size);
+      // Legend characterization goes through the closed-form kernels: for
+      // an h! enumeration the O(s^2) reference pair scan would rival the
+      // simulations themselves (bit-identical either way, see
+      // bench/enum_scaling).
+      out[oi].character =
+          characterize_order(machine.hierarchy(), config.orders[oi],
+                             config.comm_size, MetricsImpl::Fast);
     }
     // One engine workspace per pool thread (thread_local, so the serial
     // path gets one too): every point this thread simulates reuses the

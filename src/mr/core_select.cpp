@@ -53,7 +53,10 @@ std::string core_set_ranges(const std::vector<std::int64_t>& sorted_cores) {
     }
     if (!out.empty()) out += ',';
     out += std::to_string(sorted_cores[i]);
-    if (j > i) out += "-" + std::to_string(sorted_cores[j]);
+    if (j > i) {
+      out += '-';
+      out += std::to_string(sorted_cores[j]);
+    }
     i = j + 1;
   }
   return out;

@@ -1,7 +1,9 @@
 #include "mixradix/mr/equivalence.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <unordered_map>
 
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/util/expect.hpp"
@@ -45,14 +47,13 @@ unsigned resolve_workers(int threads) {
                      : util::ThreadPool::default_threads();
 }
 
-}  // namespace
+// ---- Map-based reference classifier (the pre-hashing baseline) -------------
 
-std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
-                                        Equivalence granularity, int threads) {
-  MR_EXPECT(comm_size >= 1 && h.total() % comm_size == 0,
-            "communicator size must divide the number of processes");
-  const unsigned workers = resolve_workers(threads);
-
+std::vector<OrderClass> classify_reference(const Hierarchy& h,
+                                           std::int64_t comm_size,
+                                           Equivalence granularity,
+                                           unsigned workers,
+                                           ClassifyStats* stats) {
   // Phase 1 (parallel): one signature per order, indexed slots. Phase 2
   // (serial): bucket in lexicographic visit order, so class membership
   // lists and representatives are independent of the thread count.
@@ -79,10 +80,12 @@ std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_si
     cls.members = std::move(members);  // lexicographic within each bucket
     classes.push_back(std::move(cls));
   }
-  // Phase 3 (parallel): metrics of each representative.
+  // Phase 3 (parallel): metrics of each representative, with the
+  // brute-force kernels — this path is the differential baseline and keeps
+  // the original cost profile.
   const auto characterize = [&](std::size_t c) {
-    classes[c].representative =
-        characterize_order(h, classes[c].members.front(), comm_size);
+    classes[c].representative = characterize_order(
+        h, classes[c].members.front(), comm_size, MetricsImpl::Reference);
   };
   if (workers <= 1 || classes.size() <= 1) {
     for (std::size_t c = 0; c < classes.size(); ++c) characterize(c);
@@ -94,13 +97,317 @@ std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_si
             [](const OrderClass& a, const OrderClass& b) {
               return a.members.front() < b.members.front();
             });
+  if (stats != nullptr) {
+    stats->orders = static_cast<std::int64_t>(orders.size());
+    stats->classes = static_cast<std::int64_t>(classes.size());
+  }
   return classes;
 }
 
+// ---- Hashed fast classifier ------------------------------------------------
+//
+// Two parallel passes over reusable flat per-thread buffers:
+//  1. a 128-bit signature hash per order (no placement materialised: an
+//     odometer over the permuted radices yields core ids incrementally, and
+//     multiset hashing replaces the canonicalising sorts);
+//  2. per hash group, prove the grouping sound by comparing the members'
+//     REAL canonical signatures — each order builds its placement exactly
+//     once here — and characterize the representative with the closed-form
+//     kernels.
+// Grouping happens serially in lexicographic visit order, so members,
+// representatives and class order are byte-identical to the map-based
+// classifier for every thread count.
+
+std::uint64_t mix64(std::uint64_t z) {
+  // SplitMix64's finalizer (util::SplitMix64 keeps the additive state).
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+struct Hash128Key {
+  std::size_t operator()(const Hash128& h) const noexcept {
+    return static_cast<std::size_t>(h.lo);  // already mixed.
+  }
+};
+
+/// Reusable per-thread workspace: every buffer is resized once per
+/// classification geometry and then reused across the orders this thread
+/// processes — the per-order allocation churn of the map-based path
+/// (placement vector + nested signature vectors per order) is gone.
+struct Scratch {
+  std::vector<int> digits;               ///< odometer digits, per position.
+  std::vector<int> pos_radix;            ///< radix of each permuted position.
+  std::vector<std::int64_t> pos_weight;  ///< core-id weight of each position.
+  std::vector<std::int64_t> placement;   ///< old core of each new rank.
+  std::vector<std::int64_t> sig;         ///< canonical flattened signature.
+  std::vector<std::int32_t> comm_order;  ///< comm block sort permutation.
+};
+
+Scratch& thread_scratch() {
+  static thread_local Scratch scratch;
+  return scratch;
+}
+
+/// Prime the odometer for `order`: position i (fastest-varying) holds the
+/// digit of level order[i], whose contribution to the old core id is
+/// digit * (leaves below that level).
+void init_walk(Scratch& s, const Hierarchy& h, const Order& order) {
+  const int depth = h.depth();
+  s.digits.assign(static_cast<std::size_t>(depth), 0);
+  s.pos_radix.resize(static_cast<std::size_t>(depth));
+  s.pos_weight.resize(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    const int level = order[static_cast<std::size_t>(i)];
+    s.pos_radix[static_cast<std::size_t>(i)] = h.radix(level);
+    s.pos_weight[static_cast<std::size_t>(i)] = h.leaves_below(level + 1);
+  }
+}
+
+/// Advance the odometer by one new rank, returning the next old core id
+/// (amortised O(1): a carry into position k happens every prod-radix
+/// increments).
+std::int64_t advance_walk(Scratch& s, std::int64_t core) {
+  std::size_t i = 0;
+  while (s.digits[i] == s.pos_radix[i] - 1) {
+    core -= static_cast<std::int64_t>(s.digits[i]) * s.pos_weight[i];
+    s.digits[i] = 0;
+    ++i;
+  }
+  ++s.digits[i];
+  return core + s.pos_weight[i];
+}
+
+constexpr std::uint64_t kSaltLo = 0x8f9c3a5b1d2e4f60ull;
+constexpr std::uint64_t kSaltHi = 0x1b873593c2b2ae35ull;
+
+/// 128-bit signature hash of one order, walking the permuted space once.
+/// Interchangeable structure (communicators at every granularity except
+/// ExactPlacement, members within a communicator at SameSetsOnly) is
+/// hashed commutatively (wrapping sums of mixed words), ordered structure
+/// with a chained mix — so no sorting is needed to canonicalise.
+Hash128 signature_hash(const Hierarchy& h, const Order& order,
+                       std::int64_t comm_size, Equivalence granularity,
+                       Scratch& s) {
+  init_walk(s, h, order);
+  const std::int64_t ncomms = h.total() / comm_size;
+  Hash128 sig;
+  std::int64_t core = 0;
+  for (std::int64_t c = 0; c < ncomms; ++c) {
+    std::uint64_t comm_lo = 0;
+    std::uint64_t comm_hi = 0;
+    for (std::int64_t j = 0; j < comm_size; ++j) {
+      if (c != 0 || j != 0) core = advance_walk(s, core);
+      const auto word = static_cast<std::uint64_t>(core);
+      if (granularity == Equivalence::SameSetsOnly) {
+        comm_lo += mix64(word ^ kSaltLo);  // member multiset: wrapping sum.
+        comm_hi += mix64(word ^ kSaltHi);
+      } else {
+        comm_lo = mix64(comm_lo ^ word ^ kSaltLo);  // member sequence: chain.
+        comm_hi = mix64(comm_hi ^ word ^ kSaltHi);
+      }
+    }
+    comm_lo = mix64(comm_lo);  // decorrelate before the outer combine.
+    comm_hi = mix64(comm_hi);
+    if (granularity == Equivalence::ExactPlacement) {
+      sig.lo = mix64(sig.lo ^ comm_lo);  // comm sequence: chain.
+      sig.hi = mix64(sig.hi ^ comm_hi);
+    } else {
+      sig.lo += comm_lo;  // comm multiset: wrapping sum.
+      sig.hi += comm_hi;
+    }
+  }
+  return sig;
+}
+
+/// Build the canonical flattened signature of `order` into s.sig: the
+/// placement split into comm blocks, each block sorted at SameSetsOnly,
+/// blocks sorted among themselves unless ExactPlacement. Equal s.sig <=>
+/// equal signature_of() — this is the ground truth the hash groups are
+/// verified against.
+void build_canonical_signature(const Hierarchy& h, const Order& order,
+                               std::int64_t comm_size, Equivalence granularity,
+                               Scratch& s) {
+  const std::int64_t total = h.total();
+  const std::int64_t ncomms = total / comm_size;
+  init_walk(s, h, order);
+  s.placement.resize(static_cast<std::size_t>(total));
+  std::int64_t core = 0;
+  for (std::int64_t r = 0; r < total; ++r) {
+    if (r != 0) core = advance_walk(s, core);
+    s.placement[static_cast<std::size_t>(r)] = core;
+  }
+  if (granularity == Equivalence::SameSetsOnly) {
+    for (std::int64_t c = 0; c < ncomms; ++c) {
+      const auto begin = s.placement.begin() +
+                         static_cast<std::ptrdiff_t>(c * comm_size);
+      std::sort(begin, begin + static_cast<std::ptrdiff_t>(comm_size));
+    }
+  }
+  if (granularity == Equivalence::ExactPlacement) {
+    s.sig = s.placement;
+    return;
+  }
+  s.comm_order.resize(static_cast<std::size_t>(ncomms));
+  for (std::int64_t c = 0; c < ncomms; ++c) {
+    s.comm_order[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(c);
+  }
+  const auto* base = s.placement.data();
+  std::sort(s.comm_order.begin(), s.comm_order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return std::lexicographical_compare(
+                  base + a * comm_size, base + (a + 1) * comm_size,
+                  base + b * comm_size, base + (b + 1) * comm_size);
+            });
+  s.sig.resize(static_cast<std::size_t>(total));
+  auto* out = s.sig.data();
+  for (std::int64_t c = 0; c < ncomms; ++c) {
+    const auto* block = base + s.comm_order[static_cast<std::size_t>(c)] *
+                                   comm_size;
+    out = std::copy(block, block + comm_size, out);
+  }
+}
+
+/// Classes produced from one hash group, plus its verification counters.
+struct GroupResult {
+  std::vector<OrderClass> classes;
+  std::int64_t collision_checks = 0;
+  std::int64_t hash_collisions = 0;
+};
+
+std::vector<OrderClass> classify_hashed(const Hierarchy& h,
+                                        std::int64_t comm_size,
+                                        Equivalence granularity,
+                                        unsigned workers,
+                                        ClassifyStats* stats) {
+  const std::vector<Order> orders = all_orders_lexicographic(h.depth());
+  const std::size_t norders = orders.size();
+
+  // Pass 1 (parallel): one 128-bit hash per order.
+  std::vector<Hash128> hashes(norders);
+  const auto hash_one = [&](std::size_t i) {
+    hashes[i] = signature_hash(h, orders[i], comm_size, granularity,
+                               thread_scratch());
+  };
+  if (workers <= 1 || norders <= 1) {
+    for (std::size_t i = 0; i < norders; ++i) hash_one(i);
+  } else {
+    util::ThreadPool::shared().parallel_for(norders, hash_one, workers);
+  }
+
+  // Group (serial, lexicographic visit order): members of each group stay
+  // sorted, and the first member is the candidate representative.
+  std::unordered_map<Hash128, std::uint32_t, Hash128Key> group_of;
+  group_of.reserve(norders * 2);
+  std::vector<std::vector<std::uint32_t>> groups;
+  for (std::size_t i = 0; i < norders; ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(hashes[i], static_cast<std::uint32_t>(groups.size()));
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Pass 2 (parallel over groups): verify each group against the real
+  // signatures — splitting it if the hash ever merged distinct signatures
+  // — and characterize representatives via the closed-form kernels.
+  std::vector<GroupResult> results(groups.size());
+  const auto verify_group = [&](std::size_t g) {
+    const auto& members = groups[g];
+    GroupResult& result = results[g];
+    Scratch& s = thread_scratch();
+    // Sub-buckets by real signature, in first-occurrence (= lexicographic)
+    // order. A clean group has exactly one.
+    std::vector<std::vector<std::int64_t>> bucket_sigs;
+    std::vector<std::vector<Order>> bucket_members;
+    if (members.size() == 1) {
+      // Nothing to merge, so nothing to verify.
+      bucket_members.push_back({orders[members.front()]});
+    } else {
+      for (const std::uint32_t idx : members) {
+        build_canonical_signature(h, orders[idx], comm_size, granularity, s);
+        std::size_t bucket = bucket_sigs.size();
+        for (std::size_t b = 0; b < bucket_sigs.size(); ++b) {
+          ++result.collision_checks;
+          if (bucket_sigs[b] == s.sig) {
+            bucket = b;
+            break;
+          }
+        }
+        if (bucket == bucket_sigs.size()) {
+          bucket_sigs.push_back(s.sig);
+          bucket_members.emplace_back();
+        }
+        bucket_members[bucket].push_back(orders[idx]);
+      }
+      result.hash_collisions =
+          static_cast<std::int64_t>(bucket_sigs.size()) - 1;
+    }
+    result.classes.reserve(bucket_members.size());
+    for (auto& cls_members : bucket_members) {
+      OrderClass cls;
+      cls.members = std::move(cls_members);
+      cls.representative = characterize_order(h, cls.members.front(),
+                                              comm_size, MetricsImpl::Fast);
+      result.classes.push_back(std::move(cls));
+    }
+  };
+  if (workers <= 1 || groups.size() <= 1) {
+    for (std::size_t g = 0; g < groups.size(); ++g) verify_group(g);
+  } else {
+    util::ThreadPool::shared().parallel_for(groups.size(), verify_group,
+                                            workers);
+  }
+
+  std::vector<OrderClass> classes;
+  classes.reserve(groups.size());
+  std::int64_t collision_checks = 0;
+  std::int64_t hash_collisions = 0;
+  for (auto& result : results) {
+    collision_checks += result.collision_checks;
+    hash_collisions += result.hash_collisions;
+    for (auto& cls : result.classes) classes.push_back(std::move(cls));
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const OrderClass& a, const OrderClass& b) {
+              return a.members.front() < b.members.front();
+            });
+  if (stats != nullptr) {
+    stats->orders = static_cast<std::int64_t>(norders);
+    stats->classes = static_cast<std::int64_t>(classes.size());
+    stats->signatures_hashed = static_cast<std::int64_t>(norders);
+    stats->collision_checks = collision_checks;
+    stats->hash_collisions = hash_collisions;
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
+                                        Equivalence granularity, int threads,
+                                        MetricsImpl impl, ClassifyStats* stats) {
+  MR_EXPECT(comm_size >= 1 && h.total() % comm_size == 0,
+            "communicator size must divide the number of processes");
+  const unsigned workers = resolve_workers(threads);
+  if (stats != nullptr) *stats = ClassifyStats{};
+  return impl == MetricsImpl::Fast
+             ? classify_hashed(h, comm_size, granularity, workers, stats)
+             : classify_reference(h, comm_size, granularity, workers, stats);
+}
+
 std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
-                                   Equivalence granularity, int threads) {
+                                   Equivalence granularity, int threads,
+                                   MetricsImpl impl) {
   std::vector<Order> out;
-  for (const auto& cls : classify_orders(h, comm_size, granularity, threads)) {
+  for (const auto& cls :
+       classify_orders(h, comm_size, granularity, threads, impl)) {
     out.push_back(cls.members.front());
   }
   return out;

@@ -1,6 +1,7 @@
 #include "mixradix/mr/permutation.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 #include "mixradix/util/expect.hpp"
@@ -29,6 +30,19 @@ std::string order_to_string(const Order& order) {
 }
 
 bool is_permutation_of_iota(const Order& order) {
+  // Validation sits on the closed-form metric hot path (called once per
+  // order of an h! enumeration), so the common n <= 64 case uses a
+  // register-wide bitmask instead of a heap-allocated seen-vector.
+  if (order.size() <= 64) {
+    std::uint64_t seen = 0;
+    for (int v : order) {
+      if (v < 0 || v >= static_cast<int>(order.size())) return false;
+      const std::uint64_t bit = 1ull << static_cast<unsigned>(v);
+      if (seen & bit) return false;
+      seen |= bit;
+    }
+    return !order.empty();
+  }
   std::vector<bool> seen(order.size(), false);
   for (int v : order) {
     if (v < 0 || v >= static_cast<int>(order.size())) return false;
@@ -67,6 +81,27 @@ std::vector<Order> all_orders_lexicographic(int n) {
     out.push_back(order);
   } while (std::next_permutation(order.begin(), order.end()));
   return out;
+}
+
+Order nth_order_lexicographic(int n, long long index) {
+  MR_EXPECT(n >= 1 && n <= 20, "n out of range");
+  MR_EXPECT(index >= 0 && index < factorial(n),
+            "permutation index out of range");
+  // Factorial number system: digit i (radix n-i) selects which of the
+  // still-unused values comes next.
+  std::vector<int> unused(static_cast<std::size_t>(n));
+  std::iota(unused.begin(), unused.end(), 0);
+  Order order;
+  order.reserve(static_cast<std::size_t>(n));
+  long long radix_product = factorial(n);
+  for (int i = 0; i < n; ++i) {
+    radix_product /= n - i;
+    const auto pick = static_cast<std::size_t>(index / radix_product);
+    index %= radix_product;
+    order.push_back(unused[pick]);
+    unused.erase(unused.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return order;
 }
 
 std::vector<Order> all_orders_heap(int n) {

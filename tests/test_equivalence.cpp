@@ -108,5 +108,104 @@ TEST(Equivalence, ValidatesCommSize) {
   EXPECT_THROW(classify_orders(h, 0, Equivalence::SameSetsOnly), invalid_argument);
 }
 
+constexpr Equivalence kGranularities[] = {Equivalence::ExactPlacement,
+                                          Equivalence::SameSetsAndInternal,
+                                          Equivalence::SameSetsOnly};
+
+// Byte-level equality of two classifications: same classes in the same
+// order, same members, and bit-identical representative characters.
+void expect_same_classes(const std::vector<OrderClass>& a,
+                         const std::vector<OrderClass>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members) << "class " << i;
+    EXPECT_EQ(a[i].representative.order, b[i].representative.order);
+    EXPECT_EQ(a[i].representative.ring_cost, b[i].representative.ring_cost);
+    EXPECT_EQ(a[i].representative.pair_pct, b[i].representative.pair_pct);
+  }
+}
+
+// The hashed two-pass classifier must reproduce the map-based reference
+// exactly — including on a depth-6 hierarchy with repeated radices (the
+// regime the hash path exists for) and for every granularity.
+TEST(HashedClassifier, MatchesReferenceClassifier) {
+  struct Case {
+    Hierarchy hierarchy;
+    std::vector<std::int64_t> comm_sizes;
+  };
+  const std::vector<Case> cases = {
+      {Hierarchy{2, 2, 4}, {2, 4, 8, 16}},
+      {Hierarchy{16, 2, 2, 8}, {16, 128}},
+      {Hierarchy{2, 2, 2, 3, 3, 4}, {4, 24, 288}},  // depth 6, 288 procs
+  };
+  for (const auto& c : cases) {
+    for (const std::int64_t comm_size : c.comm_sizes) {
+      for (const Equivalence granularity : kGranularities) {
+        ClassifyStats fast_stats;
+        const auto fast = classify_orders(c.hierarchy, comm_size, granularity, 1,
+                                          MetricsImpl::Fast, &fast_stats);
+        ClassifyStats ref_stats;
+        const auto ref = classify_orders(c.hierarchy, comm_size, granularity, 1,
+                                         MetricsImpl::Reference, &ref_stats);
+        expect_same_classes(fast, ref);
+
+        const long long orders = factorial(c.hierarchy.depth());
+        EXPECT_EQ(fast_stats.orders, orders);
+        EXPECT_EQ(fast_stats.signatures_hashed, orders);
+        EXPECT_EQ(fast_stats.classes, static_cast<long long>(fast.size()));
+        EXPECT_EQ(fast_stats.hash_collisions, 0);
+        EXPECT_EQ(ref_stats.orders, orders);
+        EXPECT_EQ(ref_stats.signatures_hashed, 0);  // map path: no hashing
+      }
+    }
+  }
+}
+
+// Determinism guarantee under TSan: the pass-1 hash and pass-2 verify fan
+// out over the shared pool, yet the classification must be byte-identical
+// to the serial path for every granularity and both kernel impls.
+TEST(HashedClassifier, DeterministicAcrossThreadCounts) {
+  const Hierarchy h{2, 2, 2, 3, 3, 4};  // 720 orders
+  for (const Equivalence granularity : kGranularities) {
+    const auto serial =
+        classify_orders(h, 24, granularity, 1, MetricsImpl::Fast);
+    const auto threaded =
+        classify_orders(h, 24, granularity, 4, MetricsImpl::Fast);
+    expect_same_classes(serial, threaded);
+    const auto ref_threaded =
+        classify_orders(h, 24, granularity, 4, MetricsImpl::Reference);
+    expect_same_classes(serial, ref_threaded);
+  }
+}
+
+TEST(HashedClassifier, SingletonCommunicatorsClassify) {
+  // comm_size 1: every communicator is one core, so the core-set multiset
+  // is the whole machine for every order — a single class at both set
+  // granularities — while exact placement still separates orders.
+  const Hierarchy h{2, 2, 4};
+  for (const MetricsImpl impl : {MetricsImpl::Fast, MetricsImpl::Reference}) {
+    const auto sets = classify_orders(h, 1, Equivalence::SameSetsOnly, 0, impl);
+    ASSERT_EQ(sets.size(), 1u);
+    EXPECT_EQ(sets[0].members.size(), 6u);
+    EXPECT_EQ(sets[0].representative.ring_cost, 0);
+    EXPECT_TRUE(sets[0].representative.pair_pct.empty());
+    const auto internal =
+        classify_orders(h, 1, Equivalence::SameSetsAndInternal, 0, impl);
+    EXPECT_EQ(internal.size(), 1u);
+    const auto exact =
+        classify_orders(h, 1, Equivalence::ExactPlacement, 0, impl);
+    EXPECT_EQ(exact.size(), 6u);
+  }
+}
+
+TEST(HashedClassifier, DistinctOrdersAgreesAcrossImpls) {
+  const Hierarchy h{16, 2, 2, 8};
+  EXPECT_EQ(
+      distinct_orders(h, 16, Equivalence::SameSetsAndInternal, 0,
+                      MetricsImpl::Fast),
+      distinct_orders(h, 16, Equivalence::SameSetsAndInternal, 0,
+                      MetricsImpl::Reference));
+}
+
 }  // namespace
 }  // namespace mr

@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "mixradix/util/expect.hpp"
+#include "mixradix/util/prng.hpp"
 
 namespace mr {
 namespace {
@@ -173,6 +174,90 @@ TEST(SubcommunicatorCoords, EveryCommunicatorIsDisjoint) {
       for (std::size_t j = i + 1; j < all.size(); ++j) {
         EXPECT_NE(all[i], all[j]);
       }
+    }
+  }
+}
+
+TEST(Metrics, SingletonCommunicatorHasNoHopsAndNoPairs) {
+  const Hierarchy h{2, 2, 4};
+  EXPECT_EQ(ring_cost(h, {Coords{0, 1, 2}}), 0);
+  EXPECT_TRUE(pair_percentages(h, {Coords{0, 1, 2}}).empty());
+  EXPECT_THROW(ring_cost(h, {}), invalid_argument);
+  EXPECT_THROW(pair_percentages(h, {}), invalid_argument);
+  for (MetricsImpl impl : {MetricsImpl::Fast, MetricsImpl::Reference}) {
+    const auto c = characterize_order(h, {2, 0, 1}, 1, impl);
+    EXPECT_EQ(c.ring_cost, 0);
+    EXPECT_TRUE(c.pair_pct.empty());
+    EXPECT_EQ(c.to_string(), "2-0-1 (0)");
+  }
+  EXPECT_EQ(ring_cost_closed_form(h, {0, 1, 2}, 1), 0);
+  EXPECT_TRUE(pair_percentages_closed_form(h, {0, 1, 2}, 1).empty());
+}
+
+// The closed-form kernels must agree with the brute-force reference not
+// just approximately but bit-for-bit (EXPECT_EQ on the doubles): both
+// compute the same integer pair counts and feed them through the same
+// floating expression, so the classification and legend strings built on
+// top are byte-identical regardless of the MetricsImpl.
+TEST(ClosedForm, MatchesReferenceOnPaperMachinesExhaustively) {
+  struct Case {
+    Hierarchy hierarchy;
+    std::vector<std::int64_t> comm_sizes;
+  };
+  const std::vector<Case> cases = {
+      {hydra16(), {2, 16, 64, 128, 512}},  // figs 3, 4, 6 + edge sizes
+      {lumi16(), {16, 256, 2048}},         // figs 5, 7 + full machine
+  };
+  for (const auto& c : cases) {
+    for (const std::int64_t comm_size : c.comm_sizes) {
+      for (const Order& order : all_orders_lexicographic(c.hierarchy.depth())) {
+        const auto fast =
+            characterize_order(c.hierarchy, order, comm_size, MetricsImpl::Fast);
+        const auto ref = characterize_order(c.hierarchy, order, comm_size,
+                                            MetricsImpl::Reference);
+        EXPECT_EQ(fast.ring_cost, ref.ring_cost)
+            << order_to_string(order) << " s=" << comm_size;
+        EXPECT_EQ(fast.pair_pct, ref.pair_pct)
+            << order_to_string(order) << " s=" << comm_size;
+      }
+    }
+  }
+}
+
+TEST(ClosedForm, MatchesReferenceOnRandomHierarchies) {
+  // Seeded, platform-independent randomness (util::Xoshiro256): random
+  // radix vectors up to depth 8, random orders, random divisor comm sizes.
+  util::Xoshiro256 rng(0x6d72656e756dULL);  // "mrenum"
+  for (int trial = 0; trial < 60; ++trial) {
+    const int depth = 2 + static_cast<int>(rng.next_below(7));  // 2..8
+    std::vector<int> radices;
+    for (int i = 0; i < depth; ++i) {
+      radices.push_back(2 + static_cast<int>(rng.next_below(3)));  // 2..4
+    }
+    const Hierarchy h(radices);
+
+    Order order(static_cast<std::size_t>(depth));
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size() - 1; i > 0; --i) {  // Fisher-Yates
+      std::swap(order[i], order[rng.next_below(i + 1)]);
+    }
+
+    // A random divisor of total(): the product of a random subset of the
+    // radices, capped so the O(s^2) reference stays test-sized.
+    std::int64_t comm_size = 1;
+    for (const int radix : radices) {
+      if (rng.next_below(2) == 1 && comm_size * radix <= 512) {
+        comm_size *= radix;
+      }
+    }
+
+    for (const std::int64_t s : {std::int64_t{1}, comm_size}) {
+      const auto fast = characterize_order(h, order, s, MetricsImpl::Fast);
+      const auto ref = characterize_order(h, order, s, MetricsImpl::Reference);
+      EXPECT_EQ(fast.ring_cost, ref.ring_cost)
+          << h.to_string() << " " << order_to_string(order) << " s=" << s;
+      EXPECT_EQ(fast.pair_pct, ref.pair_pct)
+          << h.to_string() << " " << order_to_string(order) << " s=" << s;
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <set>
 
 #include "mixradix/util/expect.hpp"
@@ -91,6 +92,44 @@ TEST_P(AllOrders, HeapGeneratesTheSameSet) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, AllOrders, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(AllOrders, NthOrderUnranksEveryIndex) {
+  const int n = GetParam();
+  const auto orders = all_orders_lexicographic(n);
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    EXPECT_EQ(nth_order_lexicographic(n, static_cast<long long>(i)), orders[i])
+        << "index " << i;
+  }
+}
+
+TEST(NthOrder, WorksBeyondTheMaterialisationGuard) {
+  // all_orders_lexicographic refuses n > 12; unranking has no such limit.
+  EXPECT_EQ(nth_order_lexicographic(14, 0),
+            (Order{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}));
+  EXPECT_EQ(nth_order_lexicographic(14, factorial(14) - 1),
+            (Order{13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+  // The second block of 13! indices starts by swapping the two slowest
+  // levels, exactly like next_permutation would.
+  EXPECT_EQ(nth_order_lexicographic(14, factorial(13))[0], 1);
+}
+
+TEST(NthOrder, RejectsOutOfRangeIndices) {
+  EXPECT_THROW(nth_order_lexicographic(3, -1), invalid_argument);
+  EXPECT_THROW(nth_order_lexicographic(3, 6), invalid_argument);
+  EXPECT_THROW(nth_order_lexicographic(0, 0), invalid_argument);
+}
+
+TEST(IsPermutationOfIota, HandlesWideOrders) {
+  // n > 64 falls back to the seen-vector path.
+  Order wide(100);
+  std::iota(wide.begin(), wide.end(), 0);
+  std::reverse(wide.begin(), wide.end());
+  EXPECT_TRUE(is_permutation_of_iota(wide));
+  wide[99] = 99;  // duplicates wide[0]
+  EXPECT_FALSE(is_permutation_of_iota(wide));
+  wide[99] = 100;  // out of range
+  EXPECT_FALSE(is_permutation_of_iota(wide));
+}
 
 TEST(ForEachOrder, VisitsLexicographicallyAndStopsEarly) {
   std::vector<Order> seen;
