@@ -5,18 +5,28 @@
 //   $ ./verify_cli check --algo allreduce_ring --p 8 --count 1000
 //   $ ./verify_cli check --algo bcast_binomial --p 5 --root 3 --verbose 1
 //   $ ./verify_cli matrix --ranks 2,3,4,8 --counts 1,1000
+//   $ ./verify_cli topo --machine lumi:4
+//   $ ./verify_cli topo --all 1
+//   $ ./verify_cli bind --machine hydra:4 --algo alltoall_bruck --count 4096
+//   $ ./verify_cli bind --all 1 --report congestion_report.txt
 //
 // Exit status is 0 iff every analyzed schedule is clean (no Error-level
 // diagnostics), so the tool slots directly into CI.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "mixradix/simmpi/plan.hpp"
+#include "mixradix/simmpi/registry.hpp"
+#include "mixradix/topo/presets.hpp"
 #include "mixradix/util/expect.hpp"
+#include "mixradix/verify/binding.hpp"
 #include "mixradix/verify/generator_matrix.hpp"
+#include "mixradix/verify/topo_check.hpp"
 #include "mixradix/verify/verify.hpp"
 
 namespace {
@@ -30,8 +40,50 @@ int usage() {
       "          --algo NAME (required)  --p P  --count C  --root R\n"
       "          --verbose 1 prints warnings/infos, not just errors\n"
       "  matrix  analyze the full generator matrix\n"
-      "          --ranks P1,P2,...  --counts C1,C2,...\n";
+      "          --ranks P1,P2,...  --counts C1,C2,...\n"
+      "  topo    lint a machine's topology invariants\n"
+      "          --machine SPEC (testbox | hydra:N[:nics] | lumi:N |\n"
+      "          hydra_node | lumi_node | generic:n:s:c) or --all 1\n"
+      "  bind    static binding analysis: congestion + lower bound\n"
+      "          --machine SPEC  --algo NAME  --p P  --count C  --root R\n"
+      "          --reps N  --mapping packed|spread  --top K\n"
+      "          --all 1 sweeps presets x registry; --report PATH saves\n"
+      "          the full congestion report\n";
   return 2;
+}
+
+mr::topo::Machine parse_machine(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ':')) parts.push_back(item);
+  MR_EXPECT(!parts.empty(), "empty machine spec");
+  const auto arg = [&](std::size_t i, int fallback) {
+    return i < parts.size() ? std::stoi(parts[i]) : fallback;
+  };
+  if (parts[0] == "testbox") return mr::topo::testbox();
+  if (parts[0] == "hydra") return mr::topo::hydra(arg(1, 4), arg(2, 1));
+  if (parts[0] == "hydra_node") return mr::topo::hydra_node(arg(1, 1));
+  if (parts[0] == "lumi") return mr::topo::lumi(arg(1, 2));
+  if (parts[0] == "lumi_node") return mr::topo::lumi_node();
+  if (parts[0] == "generic") {
+    return mr::topo::generic(arg(1, 2), arg(2, 2), arg(3, 8));
+  }
+  throw mr::invalid_argument("unknown machine spec: " + spec);
+}
+
+std::vector<mr::topo::Machine> preset_sweep() {
+  return {mr::topo::testbox(), mr::topo::hydra(4), mr::topo::hydra(4, 2),
+          mr::topo::lumi(2)};
+}
+
+std::vector<std::int64_t> make_mapping(const std::string& kind,
+                                       std::int32_t p, std::int64_t cores) {
+  MR_EXPECT(p <= cores, "p exceeds the machine's cores");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(p));
+  const std::int64_t stride = kind == "spread" ? cores / p : 1;
+  for (std::int32_t r = 0; r < p; ++r) out[static_cast<std::size_t>(r)] = r * stride;
+  return out;
 }
 
 std::vector<std::int64_t> parse_list(const std::string& spec) {
@@ -106,6 +158,80 @@ int main(int argc, char** argv) {
       }
       std::cout << points.size() - failed << "/" << points.size()
                 << " schedules verified clean\n";
+      return failed == 0 ? 0 : 1;
+    } else if (command == "topo") {
+      std::vector<mr::topo::Machine> machines;
+      if (flag("all", "0") != "0") {
+        machines = preset_sweep();
+      } else {
+        machines.push_back(parse_machine(flag("machine", "testbox")));
+      }
+      std::size_t failed = 0;
+      for (const auto& m : machines) {
+        const TopoReport report = analyze(m);
+        std::cout << report.to_string();
+        if (!report.clean()) ++failed;
+      }
+      std::cout << machines.size() - failed << "/" << machines.size()
+                << " machines verified clean\n";
+      return failed == 0 ? 0 : 1;
+    } else if (command == "bind") {
+      const std::int64_t count = std::stoll(flag("count", "4096"));
+      const auto root = static_cast<std::int32_t>(std::stol(flag("root", "0")));
+      const int reps = std::stoi(flag("reps", "1"));
+      const std::string mapping = flag("mapping", "packed");
+      binding::Options options;
+      options.top_k = std::stoi(flag("top", "8"));
+      const std::string report_path = flag("report", "");
+      std::ofstream report_file;
+      if (!report_path.empty()) {
+        report_file.open(report_path);
+        MR_EXPECT(report_file.good(), "cannot open " + report_path);
+      }
+      const auto analyze_point = [&](const mr::topo::Machine& m,
+                                     const std::string& algo,
+                                     std::int32_t p) {
+        const auto plan = mr::simmpi::compile_plan(algo, p, count, root, reps);
+        const auto cores = make_mapping(mapping, p, m.cores());
+        const auto result = binding::analyze(plan, m, cores, options);
+        std::cout << m.name() << " x " << algo << " p=" << p
+                  << " count=" << count << ": "
+                  << (result.clean() ? "clean" : "DIRTY") << ", lower bound "
+                  << result.bound.lower_bound << " s\n";
+        if (report_file.is_open()) {
+          report_file << "=== " << m.name() << " x " << algo << " p=" << p
+                      << " count=" << count << " ===\n"
+                      << result.to_string() << "\n";
+        }
+        return result.clean();
+      };
+      std::size_t failed = 0;
+      std::size_t analyzed = 0;
+      if (flag("all", "0") != "0") {
+        const auto p = static_cast<std::int32_t>(std::stol(flag("p", "8")));
+        for (const auto& m : preset_sweep()) {
+          for (const auto& info : mr::simmpi::algorithm_registry()) {
+            if (!info.supported(p)) continue;
+            ++analyzed;
+            if (!analyze_point(m, info.name, p)) ++failed;
+          }
+        }
+      } else {
+        const std::string algo = flag("algo", "");
+        if (algo.empty()) return usage();
+        const auto m = parse_machine(flag("machine", "testbox"));
+        const auto p = static_cast<std::int32_t>(
+            std::stol(flag("p", std::to_string(m.cores()).c_str())));
+        ++analyzed;
+        const auto plan = mr::simmpi::compile_plan(algo, p, count, root, reps);
+        const auto cores = make_mapping(mapping, p, m.cores());
+        const auto result = binding::analyze(plan, m, cores, options);
+        std::cout << result.to_string();
+        if (!result.clean()) ++failed;
+        if (report_file.is_open()) report_file << result.to_string();
+      }
+      std::cout << analyzed - failed << "/" << analyzed
+                << " bindings verified clean\n";
       return failed == 0 ? 0 : 1;
     } else {
       return usage();

@@ -116,6 +116,13 @@ struct ExecOptions {
   bool reference = false;
   /// Scratch arena to reuse across runs; nullptr = a private arena per run.
   SimWorkspace* workspace = nullptr;
+  /// Run the static binding analyzer (mixradix/verify/binding.hpp) over the
+  /// jobs before simulating; any Error-level finding (rank bound outside
+  /// the machine, route the simulator cannot carry, happens-before cycle)
+  /// throws mr::invalid_argument carrying the full diagnostic report
+  /// instead of tripping an internal assertion mid-simulation. The
+  /// Preverify analogue of the DataExecutor's schedule verification.
+  bool preverify_binding = false;
 };
 
 namespace detail {

@@ -44,6 +44,7 @@ enum class Check {
   Race,          ///< conflicting same-round writes to overlapping regions
   DeadWrite,     ///< region fully overwritten before any read
   UninitRead,    ///< read of a region the schedule never writes
+  Binding,       ///< plan-to-machine binding defect (mixradix/verify/binding.hpp)
 };
 
 const char* to_string(Severity severity);

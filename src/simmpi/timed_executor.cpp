@@ -10,6 +10,7 @@
 #include "mixradix/simnet/path.hpp"
 #include "mixradix/simnet/route_table.hpp"
 #include "mixradix/util/expect.hpp"
+#include "mixradix/verify/binding.hpp"
 
 namespace mr::simmpi {
 
@@ -419,6 +420,25 @@ class Engine {
 TimedResult run_timed_views(const topo::Machine& machine,
                             std::vector<JobView> views,
                             const ExecOptions& options) {
+  if (options.preverify_binding) {
+    std::vector<verify::binding::JobBinding> bindings;
+    bindings.reserve(views.size());
+    for (const JobView& view : views) {
+      bindings.push_back(verify::binding::JobBinding{
+          view.schedule, view.exec, view.repetitions, view.core_of_rank,
+          view.start_time});
+    }
+    // Diagnostics are all we need; skip the load report and bound.
+    verify::binding::Options opts;
+    opts.load_report = false;
+    opts.lower_bound = false;
+    const verify::binding::Result result =
+        verify::binding::analyze_jobs(machine, bindings, opts);
+    if (!result.clean()) {
+      throw mr::invalid_argument("binding preverification failed:\n" +
+                                 result.to_string());
+    }
+  }
   std::optional<SimWorkspace> local;
   SimWorkspace* ws = options.workspace;
   if (ws == nullptr || options.reference) {

@@ -1,5 +1,7 @@
 #include "mixradix/topo/machine.hpp"
 
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "mixradix/mr/metrics.hpp"
@@ -10,8 +12,54 @@ namespace mr::topo {
 
 namespace {
 
-Hierarchy hierarchy_from_levels(const std::vector<LevelSpec>& levels) {
+std::string level_tag(std::size_t index, const LevelSpec& spec) {
+  return "level " + std::to_string(index) + " ('" + spec.name + "')";
+}
+
+/// Parameter validation runs BEFORE Hierarchy construction so a bad radix
+/// is reported with its level index and name rather than Hierarchy's
+/// location-free precondition message.
+void validate_levels(const std::vector<LevelSpec>& levels) {
   MR_EXPECT(!levels.empty(), "machine needs at least one level");
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    const LevelSpec& spec = levels[k];
+    // Hierarchy re-checks this, but without the level location.
+    MR_EXPECT(spec.radix >= 2,
+              level_tag(k, spec) + " needs radix >= 2, got " +
+                  std::to_string(spec.radix));
+    MR_EXPECT(std::isfinite(spec.link_bandwidth) && spec.link_bandwidth > 0,
+              level_tag(k, spec) + " needs finite positive link bandwidth, got " +
+                  std::to_string(spec.link_bandwidth));
+    MR_EXPECT(std::isfinite(spec.link_latency) && spec.link_latency >= 0,
+              level_tag(k, spec) + " needs finite non-negative link latency, got " +
+                  std::to_string(spec.link_latency));
+    MR_EXPECT(std::isfinite(spec.mem_bandwidth) && spec.mem_bandwidth >= 0,
+              level_tag(k, spec) + " needs finite non-negative memory bandwidth, got " +
+                  std::to_string(spec.mem_bandwidth));
+  }
+}
+
+void validate_costs(const MessagingCosts& costs) {
+  MR_EXPECT(std::isfinite(costs.send_overhead) && costs.send_overhead >= 0,
+            "send_overhead must be finite and >= 0, got " +
+                std::to_string(costs.send_overhead));
+  MR_EXPECT(std::isfinite(costs.recv_overhead) && costs.recv_overhead >= 0,
+            "recv_overhead must be finite and >= 0, got " +
+                std::to_string(costs.recv_overhead));
+  MR_EXPECT(std::isfinite(costs.base_latency) && costs.base_latency >= 0,
+            "base_latency must be finite and >= 0, got " +
+                std::to_string(costs.base_latency));
+  MR_EXPECT(costs.eager_threshold >= 0,
+            "eager_threshold must be >= 0, got " +
+                std::to_string(costs.eager_threshold));
+  MR_EXPECT(std::isfinite(costs.reduce_seconds_per_byte) &&
+                costs.reduce_seconds_per_byte >= 0,
+            "reduce_seconds_per_byte must be finite and >= 0, got " +
+                std::to_string(costs.reduce_seconds_per_byte));
+}
+
+Hierarchy hierarchy_from_levels(const std::vector<LevelSpec>& levels) {
+  validate_levels(levels);
   std::vector<int> radices;
   std::vector<std::string> names;
   for (const auto& spec : levels) {
@@ -30,12 +78,10 @@ Machine::Machine(std::string name, std::vector<LevelSpec> levels,
       hierarchy_(hierarchy_from_levels(levels_)),
       costs_(costs),
       core_flops_(core_flops) {
-  for (const auto& spec : levels_) {
-    MR_EXPECT(spec.link_latency >= 0 && spec.link_bandwidth > 0,
-              "level '" + spec.name + "' needs positive link bandwidth");
-    MR_EXPECT(spec.mem_bandwidth >= 0, "memory bandwidth must be >= 0");
-  }
-  MR_EXPECT(core_flops_ > 0, "core_flops must be positive");
+  validate_costs(costs_);
+  MR_EXPECT(std::isfinite(core_flops_) && core_flops_ > 0,
+            "core_flops must be finite and positive, got " +
+                std::to_string(core_flops_));
   level_offset_.resize(levels_.size());
   for (int k = 0; k < depth(); ++k) {
     level_offset_[static_cast<std::size_t>(k)] = total_components_;
@@ -75,14 +121,17 @@ double Machine::path_latency(std::int64_t core_a, std::int64_t core_b) const {
 }
 
 Machine Machine::with_nodes(int nodes) const {
-  MR_EXPECT(nodes >= 2, "need at least two nodes at the outer level");
+  MR_EXPECT(nodes >= 2, "need at least two nodes at the outer level, got " +
+                            std::to_string(nodes));
   std::vector<LevelSpec> levels = levels_;
   levels[0].radix = nodes;
   return Machine(name_, std::move(levels), costs_, core_flops_);
 }
 
 Machine Machine::with_nic_scale(double factor) const {
-  MR_EXPECT(factor > 0, "NIC scale must be positive");
+  MR_EXPECT(std::isfinite(factor) && factor > 0,
+            "NIC scale must be finite and positive, got " +
+                std::to_string(factor));
   std::vector<LevelSpec> levels = levels_;
   levels[0].link_bandwidth *= factor;
   return Machine(name_, std::move(levels), costs_, core_flops_);

@@ -1,0 +1,881 @@
+#include "mixradix/verify/binding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "mixradix/simnet/path.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace mr::verify::binding {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Diagnostic accumulator that prefixes "job k:" when several jobs are
+/// analyzed, mirroring the run_timed job indexing.
+class Sink {
+ public:
+  Sink(Report& report, bool multi_job) : report_(report), multi_(multi_job) {}
+
+  void job(int j) { job_ = j; }
+
+  template <typename... Parts>
+  void error(std::int32_t rank, int round, std::int32_t msg, Parts&&... parts) {
+    add(Severity::Error, rank, round, msg, std::forward<Parts>(parts)...);
+  }
+  template <typename... Parts>
+  void warn(std::int32_t rank, int round, std::int32_t msg, Parts&&... parts) {
+    add(Severity::Warning, rank, round, msg, std::forward<Parts>(parts)...);
+  }
+
+ private:
+  template <typename... Parts>
+  void add(Severity severity, std::int32_t rank, int round, std::int32_t msg,
+           Parts&&... parts) {
+    std::ostringstream os;
+    if (multi_ && job_ >= 0) {
+      os << "job " << job_ << ": ";
+    }
+    (os << ... << parts);
+    report_.diagnostics.push_back(
+        {severity, Check::Binding, rank, round, msg, os.str()});
+  }
+
+  Report& report_;
+  bool multi_ = false;
+  int job_ = 0;
+};
+
+/// Per-message derived facts, for one repetition of one job (routes and
+/// round placement are repetition-invariant).
+struct MsgFacts {
+  std::int64_t send_gi = -1;  ///< flattened CSR round index of the send.
+  std::int64_t recv_gi = -1;
+  double latency = 0;         ///< machine.path_latency(src core, dst core).
+  double cap_min = kInf;      ///< bottleneck capacity along the route; inf = self.
+  double transfer_floor = 0;  ///< latency + bytes / cap_min.
+  bool eager = false;
+  bool crosses_network = false;  ///< route non-empty.
+  std::int32_t route = -1;       ///< RouteCache id.
+};
+
+/// Facts about one (src_core, dst_core) route, derived once per distinct
+/// pair rather than once per message (sweeps replay the same few core
+/// pairs across every round and job). Unlike the simulator's RouteTable —
+/// which asserts on malformed routes — defects are recorded so the caller
+/// can surface a located diagnostic instead of aborting.
+struct RouteFacts {
+  simnet::ChanSet channels;  ///< duplicate-free (FlowSim's view); unordered.
+  double latency = 0;
+  double cap_min = kInf;  ///< min capacity over channels; inf for self.
+  int raw_size = 0;       ///< deduped channel count, even when too deep.
+  bool too_deep = false;  ///< route exceeds kMaxChannelsPerFlow.
+};
+
+/// Routes depend only on the machine, so one cache serves every job of an
+/// analysis (and every message of an alltoall round trades its
+/// flow_channels() walk for a hash lookup). Derivation replays the
+/// flow_channels() contract — egress/ingress at every level from the first
+/// divergent one inward, plus each endpoint's memory controllers — from
+/// tables precomputed once per machine, instead of re-walking the
+/// hierarchy API per pair; tests/test_binding.cpp pins the two against
+/// each other.
+class RouteCache {
+ public:
+  explicit RouteCache(const topo::Machine& machine) : depth_(machine.depth()) {
+    radix_.resize(static_cast<std::size_t>(depth_));
+    link_bw_.resize(static_cast<std::size_t>(depth_));
+    offset_.resize(static_cast<std::size_t>(depth_));
+    lat_suffix_.assign(static_cast<std::size_t>(depth_) + 1, 0.0);
+    for (int k = depth_ - 1; k >= 0; --k) {
+      radix_[static_cast<std::size_t>(k)] = machine.hierarchy().radix(k);
+      link_bw_[static_cast<std::size_t>(k)] = machine.level(k).link_bandwidth;
+      offset_[static_cast<std::size_t>(k)] = machine.component_id(k, 0);
+      lat_suffix_[static_cast<std::size_t>(k)] =
+          lat_suffix_[static_cast<std::size_t>(k) + 1] +
+          2.0 * machine.level(k).link_latency;
+      if (machine.level(k).mem_bandwidth > 0) {
+        mem_levels_.push_back({k, machine.level(k).mem_bandwidth});
+      }
+    }
+    base_latency_ = machine.costs().base_latency;
+    comp_src_.resize(static_cast<std::size_t>(depth_));
+    comp_dst_.resize(static_cast<std::size_t>(depth_));
+    index_.reserve(1024);
+  }
+
+  std::int32_t route(std::int64_t src, std::int64_t dst) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) |
+                              static_cast<std::uint64_t>(dst);
+    const auto [it, inserted] =
+        index_.try_emplace(key, static_cast<std::int32_t>(routes_.size()));
+    if (inserted) {
+      routes_.push_back(derive(src, dst));
+    }
+    return it->second;
+  }
+
+  const RouteFacts& facts(std::int32_t id) const {
+    return routes_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  struct MemLevel {
+    int level = 0;
+    double bandwidth = 0;
+  };
+
+  RouteFacts derive(std::int64_t src, std::int64_t dst) {
+    RouteFacts rf;
+    rf.latency = base_latency_;
+    if (src == dst) {
+      return rf;
+    }
+    // Per-level component of each core (core / leaves-below), built with
+    // one small-radix division per level instead of a wide division per
+    // lookup: the leaf component IS the core, and each outer component is
+    // the inner one divided by the inner level's radix.
+    comp_src_[static_cast<std::size_t>(depth_) - 1] = src;
+    comp_dst_[static_cast<std::size_t>(depth_) - 1] = dst;
+    for (int k = depth_ - 2; k >= 0; --k) {
+      comp_src_[static_cast<std::size_t>(k)] =
+          comp_src_[static_cast<std::size_t>(k) + 1] /
+          radix_[static_cast<std::size_t>(k) + 1];
+      comp_dst_[static_cast<std::size_t>(k)] =
+          comp_dst_[static_cast<std::size_t>(k) + 1] /
+          radix_[static_cast<std::size_t>(k) + 1];
+    }
+    // First level (outermost = 0) where the cores' components diverge;
+    // exists because distinct cores differ at least at the leaf level.
+    int fd = 0;
+    while (comp_src_[static_cast<std::size_t>(fd)] ==
+           comp_dst_[static_cast<std::size_t>(fd)]) {
+      ++fd;
+    }
+    rf.latency += lat_suffix_[static_cast<std::size_t>(fd)];
+    // A memory controller above the divergence level is shared by both
+    // endpoints and must be accounted once, not twice (the FlowSim /
+    // RouteTable dedupe); below it the endpoints' controllers differ, as
+    // do every level's egress/ingress components.
+    rf.raw_size = 2 * (depth_ - fd);
+    for (const MemLevel& m : mem_levels_) {
+      rf.raw_size += m.level < fd ? 1 : 2;
+    }
+    if (rf.raw_size > simnet::kMaxChannelsPerFlow) {
+      rf.too_deep = true;
+      return rf;
+    }
+    const auto push = [&](simnet::ChannelId id, double cap) {
+      rf.channels.ids[static_cast<std::size_t>(rf.channels.count++)] = id;
+      rf.cap_min = std::min(rf.cap_min, cap);
+    };
+    for (int k = fd; k < depth_; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      const std::int64_t off = offset_[ki];
+      push(static_cast<simnet::ChannelId>(3 * (off + comp_src_[ki])),
+           link_bw_[ki]);
+      push(static_cast<simnet::ChannelId>(3 * (off + comp_dst_[ki]) + 1),
+           link_bw_[ki]);
+    }
+    for (const MemLevel& m : mem_levels_) {
+      const std::size_t ki = static_cast<std::size_t>(m.level);
+      const std::int64_t off = offset_[ki];
+      push(static_cast<simnet::ChannelId>(3 * (off + comp_src_[ki]) + 2),
+           m.bandwidth);
+      if (m.level >= fd) {
+        push(static_cast<simnet::ChannelId>(3 * (off + comp_dst_[ki]) + 2),
+             m.bandwidth);
+      }
+    }
+    return rf;
+  }
+
+  int depth_ = 0;
+  std::vector<std::int64_t> radix_;   ///< per-level radix.
+  std::vector<double> link_bw_;       ///< per-level egress/ingress capacity.
+  std::vector<std::int64_t> offset_;  ///< dense component id of (level, 0).
+  std::vector<double> lat_suffix_;    ///< 2 * sum of link latencies inward.
+  std::vector<MemLevel> mem_levels_;  ///< levels with a memory model.
+  double base_latency_ = 0;
+  std::vector<std::int64_t> comp_src_;  ///< derive() scratch, sized depth.
+  std::vector<std::int64_t> comp_dst_;
+  std::unordered_map<std::uint64_t, std::int32_t> index_;
+  std::vector<RouteFacts> routes_;
+};
+
+/// Per-job derived state shared by the load report and the bound.
+struct JobFacts {
+  std::vector<MsgFacts> msgs;         ///< indexed by message id (one rep).
+  std::vector<double> round_cpu;      ///< per flattened CSR round.
+  std::int64_t node_base = 0;         ///< first DP node of this job.
+  std::vector<std::int64_t> rank_node_base;  ///< per rank, relative to job.
+};
+
+double round_cpu_time(const simmpi::PlanExec& exec,
+                      const topo::MessagingCosts& costs, std::int64_t round) {
+  const auto i = static_cast<std::size_t>(round);
+  double cpu = exec.round_compute[i];
+  cpu += costs.send_overhead *
+         static_cast<double>(exec.send_begin[i + 1] - exec.send_begin[i]);
+  cpu += costs.recv_overhead *
+         static_cast<double>(exec.recv_begin[i + 1] - exec.recv_begin[i]);
+  cpu += static_cast<double>(exec.round_copy_doubles[i]) * 8.0 *
+         costs.reduce_seconds_per_byte;
+  return cpu;
+}
+
+/// Validate one job's binding; returns false when later phases must not
+/// trust its indices. Fills `facts` (rounds/routes) only on success.
+bool check_job(const topo::Machine& machine, const JobBinding& job,
+               RouteCache& routes, Sink& sink, JobFacts& facts) {
+  if (job.schedule == nullptr || job.exec == nullptr ||
+      job.core_of_rank == nullptr) {
+    sink.error(-1, -1, -1, "job is missing its ",
+               job.schedule == nullptr  ? "schedule"
+               : job.exec == nullptr    ? "execution structure"
+                                        : "core_of_rank binding");
+    return false;
+  }
+  const simmpi::Schedule& sched = *job.schedule;
+  const simmpi::PlanExec& exec = *job.exec;
+  const std::vector<std::int64_t>& cores = *job.core_of_rank;
+  bool ok = true;
+
+  if (job.repetitions < 1) {
+    sink.error(-1, -1, -1, "repetitions must be >= 1, got ", job.repetitions);
+    ok = false;
+  }
+  if (!std::isfinite(job.start_time) || job.start_time < 0) {
+    sink.error(-1, -1, -1, "start_time must be finite and >= 0, got ",
+               job.start_time);
+    ok = false;
+  }
+  if (cores.size() != static_cast<std::size_t>(sched.nranks)) {
+    sink.error(-1, -1, -1, "core_of_rank has ", cores.size(),
+               " entries for ", sched.nranks, " ranks");
+    return false;
+  }
+  for (std::int32_t r = 0; r < sched.nranks; ++r) {
+    const std::int64_t core = cores[static_cast<std::size_t>(r)];
+    if (core < 0 || core >= machine.cores()) {
+      sink.error(r, -1, -1, "rank ", r, " is bound to core ", core,
+                 " outside machine '", machine.name(), "' with ",
+                 machine.cores(), " cores");
+      ok = false;
+    }
+  }
+  if (!ok) {
+    return false;
+  }
+  {
+    // Two ranks sharing a core is legal (latency-only self routes) but is
+    // almost always a mapping-generator bug worth surfacing.
+    std::vector<std::int64_t> sorted = cores;
+    std::sort(sorted.begin(), sorted.end());
+    const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+    if (dup != sorted.end()) {
+      sink.warn(-1, -1, -1, "two ranks share core ", *dup,
+                "; their traffic is modelled latency-only");
+    }
+  }
+  // The TimedExecutor shifts message ids by rep * messages_per_rep in
+  // int32 arithmetic; overflow would alias messages across repetitions.
+  const auto msgs_per_rep = static_cast<std::int64_t>(sched.messages.size());
+  if (msgs_per_rep * job.repetitions >
+      static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max())) {
+    sink.error(-1, -1, -1, "repetitions * messages (", job.repetitions, " * ",
+               msgs_per_rep, ") overflows the 32-bit message id space");
+    return false;
+  }
+  if (exec.msg_bytes.size() != sched.messages.size() ||
+      exec.rank_rounds_begin.size() !=
+          static_cast<std::size_t>(sched.nranks) + 1) {
+    sink.error(-1, -1, -1,
+               "execution structure does not match the schedule (",
+               exec.msg_bytes.size(), " vs ", sched.messages.size(),
+               " messages, ", exec.rank_rounds_begin.size(), " vs ",
+               sched.nranks + 1, " rank offsets); was it derived from a "
+               "different plan?");
+    return false;
+  }
+
+  // Locate every message's send/recv round in the CSR, then resolve and
+  // vet its route.
+  facts.msgs.assign(sched.messages.size(), {});
+  const std::int64_t total_rounds = exec.rank_rounds_begin.back();
+  for (std::int64_t gi = 0; gi < total_rounds; ++gi) {
+    const auto i = static_cast<std::size_t>(gi);
+    for (std::int64_t k = exec.send_begin[i]; k < exec.send_begin[i + 1];
+         ++k) {
+      facts.msgs[static_cast<std::size_t>(
+                     exec.send_msg[static_cast<std::size_t>(k)])]
+          .send_gi = gi;
+    }
+    for (std::int64_t k = exec.recv_begin[i]; k < exec.recv_begin[i + 1];
+         ++k) {
+      facts.msgs[static_cast<std::size_t>(
+                     exec.recv_msg[static_cast<std::size_t>(k)])]
+          .recv_gi = gi;
+    }
+  }
+  for (std::size_t m = 0; m < sched.messages.size(); ++m) {
+    const simmpi::MsgInfo& info = sched.messages[m];
+    MsgFacts& mf = facts.msgs[m];
+    const auto msg_id = static_cast<std::int32_t>(m);
+    if (mf.send_gi < 0 || mf.recv_gi < 0) {
+      sink.error(info.src, -1, msg_id, "message ", m,
+                 " is never ", mf.send_gi < 0 ? "sent" : "received",
+                 " in the execution structure");
+      ok = false;
+      continue;
+    }
+    const int send_round = static_cast<int>(
+        mf.send_gi -
+        exec.rank_rounds_begin[static_cast<std::size_t>(info.src)]);
+    const std::int64_t core_src = cores[static_cast<std::size_t>(info.src)];
+    const std::int64_t core_dst = cores[static_cast<std::size_t>(info.dst)];
+    mf.route = routes.route(core_src, core_dst);
+    const RouteFacts& rf = routes.facts(mf.route);
+    mf.latency = rf.latency;
+    mf.eager = info.bytes() <= machine.costs().eager_threshold;
+    mf.crosses_network = rf.raw_size > 0;
+    if (core_src == core_dst && mf.crosses_network) {
+      sink.error(info.src, send_round, msg_id,
+                 "self-message on core ", core_src, " crosses ",
+                 rf.raw_size, " channels; self traffic must be "
+                 "latency-only");
+      ok = false;
+      continue;
+    }
+    if (core_src != core_dst && !mf.crosses_network) {
+      sink.error(info.src, send_round, msg_id,
+                 "message between distinct cores ", core_src, " and ",
+                 core_dst, " resolved to an empty route");
+      ok = false;
+      continue;
+    }
+    // The simulator's RouteTable asserts (aborts) on these; report them as
+    // analysis findings instead so a too-deep machine fails gracefully.
+    if (rf.too_deep) {
+      sink.error(info.src, send_round, msg_id,
+                 "route crosses ", rf.raw_size,
+                 " channels, above the simulator limit of ",
+                 simnet::kMaxChannelsPerFlow);
+      ok = false;
+      continue;
+    }
+    mf.cap_min = rf.cap_min;
+    if (mf.cap_min <= 0) {
+      sink.error(info.src, send_round, msg_id,
+                 "route bottleneck capacity is ", mf.cap_min,
+                 "; transfers would never complete");
+      ok = false;
+      continue;
+    }
+    mf.transfer_floor =
+        mf.latency + static_cast<double>(info.bytes()) / mf.cap_min;
+  }
+  if (!ok) {
+    return false;
+  }
+  facts.round_cpu.resize(static_cast<std::size_t>(total_rounds));
+  for (std::int64_t gi = 0; gi < total_rounds; ++gi) {
+    facts.round_cpu[static_cast<std::size_t>(gi)] =
+        round_cpu_time(exec, machine.costs(), gi);
+  }
+  return true;
+}
+
+/// One (channel, round, bytes) contribution; bucketed by channel with a
+/// counting sort to aggregate without per-channel hash maps or a
+/// comparison sort on the analyzer hot path.
+struct ChannelTouch {
+  simnet::ChannelId channel = -1;
+  std::int32_t round = 0;
+  std::int64_t bytes = 0;
+};
+
+void build_load_report(const topo::Machine& machine,
+                       const std::vector<JobBinding>& jobs,
+                       const std::vector<JobFacts>& facts,
+                       const std::vector<double>& capacities,
+                       const RouteCache& routes, int top_k,
+                       LoadReport& load) {
+  std::vector<ChannelTouch> touches;
+  std::vector<double> round_straggler;  ///< slowest uncontended msg per round.
+  // Per-channel totals over all jobs and repetitions, kept sparse via the
+  // touched list so the flat arrays are only ever scanned where traffic is.
+  std::vector<std::int64_t> chan_bytes(capacities.size(), 0);
+  std::vector<std::int64_t> chan_flows(capacities.size(), 0);
+  std::vector<simnet::ChannelId> touched;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobBinding& job = jobs[j];
+    const simmpi::Schedule& sched = *job.schedule;
+    const simmpi::PlanExec& exec = *job.exec;
+    const auto reps = static_cast<std::int64_t>(job.repetitions);
+    for (std::size_t m = 0; m < sched.messages.size(); ++m) {
+      const MsgFacts& mf = facts[j].msgs[m];
+      const std::int64_t bytes = sched.messages[m].bytes();
+      if (!mf.crosses_network) {
+        load.self_bytes += bytes * reps;
+        continue;
+      }
+      load.total_bytes += bytes * reps;
+      load.total_flows += reps;
+      // Report rounds by the sender's local round index within one
+      // repetition — the axis schedules are written along.
+      const std::int64_t round =
+          mf.send_gi - exec.rank_rounds_begin[static_cast<std::size_t>(
+                           sched.messages[m].src)];
+      if (round >= static_cast<std::int64_t>(load.rounds.size())) {
+        load.rounds.resize(static_cast<std::size_t>(round) + 1);
+        round_straggler.resize(static_cast<std::size_t>(round) + 1, 0.0);
+      }
+      RoundLoad& rl = load.rounds[static_cast<std::size_t>(round)];
+      rl.bytes += bytes;
+      rl.flows += 1;
+      round_straggler[static_cast<std::size_t>(round)] =
+          std::max(round_straggler[static_cast<std::size_t>(round)],
+                   static_cast<double>(bytes) / mf.cap_min);
+      const simnet::ChanSet& set = routes.facts(mf.route).channels;
+      for (std::int32_t k = 0; k < set.count; ++k) {
+        const simnet::ChannelId c = set.ids[static_cast<std::size_t>(k)];
+        if (chan_flows[static_cast<std::size_t>(c)] == 0) {
+          touched.push_back(c);
+        }
+        chan_bytes[static_cast<std::size_t>(c)] += bytes * reps;
+        chan_flows[static_cast<std::size_t>(c)] += reps;
+        touches.push_back({c, static_cast<std::int32_t>(round), bytes});
+      }
+    }
+  }
+  for (std::size_t r = 0; r < load.rounds.size(); ++r) {
+    load.rounds[r].round = static_cast<std::int64_t>(r);
+  }
+
+  // Counting sort by channel: occurrence counts -> bucket offsets ->
+  // scatter. O(touches + touched channels), no comparisons.
+  std::sort(touched.begin(), touched.end());
+  std::vector<std::int32_t> bucket_begin(touched.size() + 1, 0);
+  std::vector<std::int32_t> bucket_of_channel(capacities.size(), -1);
+  for (std::size_t t = 0; t < touched.size(); ++t) {
+    bucket_of_channel[static_cast<std::size_t>(touched[t])] =
+        static_cast<std::int32_t>(t);
+  }
+  for (const ChannelTouch& t : touches) {
+    ++bucket_begin[static_cast<std::size_t>(
+                       bucket_of_channel[static_cast<std::size_t>(t.channel)]) +
+                   1];
+  }
+  for (std::size_t t = 1; t <= touched.size(); ++t) {
+    bucket_begin[t] += bucket_begin[t - 1];
+  }
+  std::vector<ChannelTouch> bucketed(touches.size());
+  {
+    std::vector<std::int32_t> cursor(bucket_begin.begin(),
+                                     bucket_begin.end() - 1);
+    for (const ChannelTouch& t : touches) {
+      const auto b = static_cast<std::size_t>(
+          bucket_of_channel[static_cast<std::size_t>(t.channel)]);
+      bucketed[static_cast<std::size_t>(cursor[b]++)] = t;
+    }
+  }
+
+  // Per-round scratch, reset via the seen list after each channel.
+  std::vector<std::int64_t> round_sum(load.rounds.size(), 0);
+  std::vector<std::int32_t> rounds_seen;
+  std::vector<ChannelLoad> ranked;
+  ranked.reserve(touched.size());
+  for (std::size_t t = 0; t < touched.size(); ++t) {
+    const simnet::ChannelId id = touched[t];
+    ChannelLoad cl;
+    cl.channel = id;
+    cl.bytes = chan_bytes[static_cast<std::size_t>(id)];
+    cl.flows = chan_flows[static_cast<std::size_t>(id)];
+    const double cap = capacities[static_cast<std::size_t>(id)];
+    cl.serialization_seconds = static_cast<double>(cl.bytes) / cap;
+    rounds_seen.clear();
+    for (std::int32_t e = bucket_begin[t]; e < bucket_begin[t + 1]; ++e) {
+      const ChannelTouch& touch = bucketed[static_cast<std::size_t>(e)];
+      const auto r = static_cast<std::size_t>(touch.round);
+      if (round_sum[r] == 0 && touch.bytes != 0) {
+        rounds_seen.push_back(touch.round);
+      }
+      round_sum[r] += touch.bytes;
+    }
+    for (const std::int32_t round : rounds_seen) {
+      const auto r = static_cast<std::size_t>(round);
+      const std::int64_t bytes = round_sum[r];
+      round_sum[r] = 0;
+      const double straggler = round_straggler[r];
+      if (straggler <= 0) {
+        continue;
+      }
+      const double over = static_cast<double>(bytes) / cap / straggler;
+      cl.oversubscription = std::max(cl.oversubscription, over);
+      RoundLoad& rl = load.rounds[r];
+      if (over > rl.max_oversubscription) {
+        rl.max_oversubscription = over;
+        rl.hottest = id;
+      }
+    }
+    ranked.push_back(std::move(cl));
+  }
+  for (RoundLoad& rl : load.rounds) {
+    if (rl.hottest >= 0) {
+      rl.hottest_name = channel_name(machine, rl.hottest);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ChannelLoad& a, const ChannelLoad& b) {
+              if (a.serialization_seconds != b.serialization_seconds) {
+                return a.serialization_seconds > b.serialization_seconds;
+              }
+              return a.channel < b.channel;
+            });
+  if (static_cast<int>(ranked.size()) > top_k) {
+    ranked.resize(static_cast<std::size_t>(top_k));
+  }
+  // Names are built only for the channels that survived the cut.
+  for (ChannelLoad& cl : ranked) {
+    cl.name = channel_name(machine, cl.channel);
+  }
+  load.top_channels = std::move(ranked);
+}
+
+/// Critical-path DP over (job, rank, virtual round) nodes, plus the
+/// per-channel serialization bound.
+///
+/// Each node splits into a READY event (previous round finished + this
+/// round's CPU cost) and a FINISH event (all posted ops complete). A
+/// message constrains the receiver's FINISH by the sender's READY — not
+/// its FINISH — which is what lets the ubiquitous same-round exchange
+/// (a<->b sendrecv) stay acyclic: posts are non-blocking, only the
+/// waitall orders rounds. FINISH events left unprocessed mean a genuine
+/// happens-before cycle: diagnosed, and the bound stays 0 (trivially
+/// sound).
+void build_bound(const std::vector<JobBinding>& jobs,
+                 std::vector<JobFacts>& facts,
+                 const std::vector<double>& capacities,
+                 const RouteCache& routes, Sink& sink, Bound& bound) {
+  // Node numbering: per job, per rank, virtual round vr in
+  // [0, rounds_of(rank) * repetitions).
+  std::int64_t nnodes = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    facts[j].node_base = nnodes;
+    const simmpi::PlanExec& exec = *jobs[j].exec;
+    const std::int32_t nranks = jobs[j].schedule->nranks;
+    facts[j].rank_node_base.assign(static_cast<std::size_t>(nranks) + 1, 0);
+    for (std::int32_t r = 0; r < nranks; ++r) {
+      facts[j].rank_node_base[static_cast<std::size_t>(r) + 1] =
+          facts[j].rank_node_base[static_cast<std::size_t>(r)] +
+          exec.rounds_of(r) * jobs[j].repetitions;
+    }
+    nnodes += facts[j].rank_node_base[static_cast<std::size_t>(nranks)];
+  }
+
+  const auto n = static_cast<std::size_t>(nnodes);
+  std::vector<double> ready(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+  // Max over constraints a node's FINISH must respect beyond its own
+  // READY: incoming message floors and its own rendezvous floors.
+  std::vector<double> inbound(n, 0.0);
+  // FINISH prerequisites outstanding: own READY plus one per incoming
+  // receive edge.
+  std::vector<std::int32_t> pend(n, 0);
+
+  const auto node_of = [&](std::size_t j, std::int32_t rank,
+                           std::int64_t vr) {
+    return facts[j].node_base +
+           facts[j].rank_node_base[static_cast<std::size_t>(rank)] + vr;
+  };
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const simmpi::PlanExec& exec = *jobs[j].exec;
+    const std::int32_t nranks = jobs[j].schedule->nranks;
+    for (std::int32_t r = 0; r < nranks; ++r) {
+      const std::int64_t rounds = exec.rounds_of(r);
+      for (std::int64_t vr = 0; vr < rounds * jobs[j].repetitions; ++vr) {
+        pend[static_cast<std::size_t>(node_of(j, r, vr))] = 1;
+      }
+    }
+    for (std::size_t m = 0; m < facts[j].msgs.size(); ++m) {
+      const MsgFacts& mf = facts[j].msgs[m];
+      const simmpi::MsgInfo& info = jobs[j].schedule->messages[m];
+      const std::int64_t recv_local =
+          mf.recv_gi -
+          exec.rank_rounds_begin[static_cast<std::size_t>(info.dst)];
+      const std::int64_t rounds = exec.rounds_of(info.dst);
+      for (int rep = 0; rep < jobs[j].repetitions; ++rep) {
+        pend[static_cast<std::size_t>(
+            node_of(j, info.dst, rep * rounds + recv_local))] += 1;
+      }
+    }
+  }
+
+  // Worklist events: 2 * node = READY computable, 2 * node + 1 = FINISH
+  // computable. READY of a rank's first virtual round is computable
+  // immediately; every later READY is triggered by the previous FINISH.
+  std::vector<std::int64_t> worklist;
+  worklist.reserve(n);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::int32_t r = 0; r < jobs[j].schedule->nranks; ++r) {
+      if (jobs[j].exec->rounds_of(r) > 0) {
+        worklist.push_back(2 * node_of(j, r, 0));
+      }
+    }
+  }
+
+  std::size_t finished = 0;
+  double cp = 0.0;
+  // Channel bound inputs, collected as sender READY events fire; flat
+  // arrays + a touched list keep the hot loop hash-free.
+  std::vector<double> chan_entry(capacities.size(), kInf);
+  std::vector<std::int64_t> chan_bytes(capacities.size(), 0);
+  std::vector<simnet::ChannelId> chan_touched;
+
+  while (!worklist.empty()) {
+    const std::int64_t event = worklist.back();
+    worklist.pop_back();
+    const std::int64_t node = event / 2;
+    // Locate the node from the stored bases.
+    std::size_t j = 0;
+    while (j + 1 < jobs.size() && facts[j + 1].node_base <= node) {
+      ++j;
+    }
+    const std::int64_t local = node - facts[j].node_base;
+    const auto& rbase = facts[j].rank_node_base;
+    const auto rit = std::upper_bound(rbase.begin(), rbase.end(), local);
+    const auto rank =
+        static_cast<std::int32_t>(std::distance(rbase.begin(), rit)) - 1;
+    const std::int64_t vr = local - rbase[static_cast<std::size_t>(rank)];
+    const simmpi::PlanExec& exec = *jobs[j].exec;
+    const std::int64_t rounds = exec.rounds_of(rank);
+    const std::int64_t gi =
+        exec.rank_rounds_begin[static_cast<std::size_t>(rank)] + vr % rounds;
+    const auto ni = static_cast<std::size_t>(node);
+    const auto i = static_cast<std::size_t>(gi);
+
+    if (event % 2 == 1) {
+      // FINISH: all prerequisites delivered. NOT clamped to this round's
+      // own ready: the engine completes an in-flight receive at transfer
+      // time without waiting out the receiver's CPU serialisation, so a
+      // recv-only round can finish before its own ready. The ready term
+      // was merged into `inbound` at READY time exactly when the engine
+      // guarantees it (eager sends complete at ready; op-less rounds
+      // advance at ready).
+      const double post = vr == 0 ? jobs[j].start_time
+                                  : finish[static_cast<std::size_t>(node - 1)];
+      finish[ni] = std::max(post, inbound[ni]);
+      ++finished;
+      if (vr == rounds * jobs[j].repetitions - 1) {
+        cp = std::max(cp, finish[ni]);
+      } else {
+        worklist.push_back(2 * (node + 1));
+      }
+      continue;
+    }
+
+    // READY: the previous round's FINISH (or the job start) is known.
+    ready[ni] = (vr == 0 ? jobs[j].start_time
+                         : finish[static_cast<std::size_t>(node - 1)]) +
+                facts[j].round_cpu[i];
+    bool has_eager_send = false;
+    for (std::int64_t k = exec.send_begin[i]; k < exec.send_begin[i + 1];
+         ++k) {
+      const auto m = static_cast<std::size_t>(
+          exec.send_msg[static_cast<std::size_t>(k)]);
+      const MsgFacts& mf = facts[j].msgs[m];
+      const simmpi::MsgInfo& info = jobs[j].schedule->messages[m];
+      // The receiver's FINISH of the same repetition waits at least the
+      // transfer floor past this READY.
+      const std::int64_t recv_local =
+          mf.recv_gi -
+          exec.rank_rounds_begin[static_cast<std::size_t>(info.dst)];
+      const std::int64_t rv =
+          vr / rounds * exec.rounds_of(info.dst) + recv_local;
+      const std::int64_t recv_node = node_of(j, info.dst, rv);
+      const auto ri = static_cast<std::size_t>(recv_node);
+      inbound[ri] = std::max(inbound[ri], ready[ni] + mf.transfer_floor);
+      if (--pend[ri] == 0) {
+        worklist.push_back(2 * recv_node + 1);
+      }
+      if (mf.eager) {
+        has_eager_send = true;
+      } else {
+        // Rendezvous sends complete no earlier than their own transfer
+        // floor (the receiver-ready term is dropped to keep the DP
+        // acyclic — still a valid lower bound).
+        inbound[ni] = std::max(inbound[ni], ready[ni] + mf.transfer_floor);
+      }
+      if (mf.crosses_network && vr / rounds == 0) {
+        // ready is non-decreasing across repetitions, so repetition 0
+        // holds each channel's earliest possible entry.
+        const double entry = ready[ni] + mf.latency;
+        const simnet::ChanSet& set = routes.facts(mf.route).channels;
+        for (std::int32_t s = 0; s < set.count; ++s) {
+          const auto c = static_cast<std::size_t>(
+              set.ids[static_cast<std::size_t>(s)]);
+          if (chan_bytes[c] == 0) {
+            chan_touched.push_back(set.ids[static_cast<std::size_t>(s)]);
+          }
+          chan_entry[c] = std::min(chan_entry[c], entry);
+          chan_bytes[c] += info.bytes() * jobs[j].repetitions;
+        }
+      }
+    }
+    for (std::int64_t k = exec.recv_begin[i]; k < exec.recv_begin[i + 1];
+         ++k) {
+      const auto m = static_cast<std::size_t>(
+          exec.recv_msg[static_cast<std::size_t>(k)]);
+      const MsgFacts& mf = facts[j].msgs[m];
+      if (!mf.eager) {
+        // Rendezvous transfers start only after the receiver posts.
+        inbound[ni] = std::max(inbound[ni], ready[ni] + mf.transfer_floor);
+      }
+    }
+    // The engine only guarantees finish >= ready when an eager send
+    // completes at ready, or when the round has no network ops and
+    // advances at ready. A recv-only round's in-flight receives complete
+    // at raw transfer time, possibly before the receiver's own ready.
+    const bool has_sends = exec.send_begin[i + 1] > exec.send_begin[i];
+    const bool has_recvs = exec.recv_begin[i + 1] > exec.recv_begin[i];
+    if (has_eager_send || (!has_sends && !has_recvs)) {
+      inbound[ni] = std::max(inbound[ni], ready[ni]);
+    }
+    if (--pend[ni] == 0) {
+      worklist.push_back(2 * node + 1);
+    }
+  }
+
+  if (finished != n) {
+    sink.error(-1, -1, -1,
+               "happens-before graph has a cycle through ", n - finished,
+               " of ", n, " rounds; the schedule deadlocks on this binding "
+               "and no finite lower bound exists");
+    return;
+  }
+
+  double agg = 0.0;
+  for (const simnet::ChannelId id : chan_touched) {
+    const auto c = static_cast<std::size_t>(id);
+    agg = std::max(agg, chan_entry[c] + static_cast<double>(chan_bytes[c]) /
+                                            capacities[c]);
+  }
+
+  bound.critical_path = cp;
+  bound.channel_serialization = agg;
+  bound.lower_bound = std::max(cp, agg);
+}
+
+}  // namespace
+
+std::string channel_name(const topo::Machine& machine, simnet::ChannelId id) {
+  static constexpr const char* kKind[3] = {"egress", "ingress", "mem"};
+  const std::int64_t dense = id / 3;
+  std::ostringstream os;
+  if (id < 0 || dense >= machine.total_components()) {
+    os << "channel[" << id << "]";
+    return os.str();
+  }
+  int level = 0;
+  for (int k = machine.depth() - 1; k >= 0; --k) {
+    if (machine.component_id(k, 0) <= dense) {
+      level = k;
+      break;
+    }
+  }
+  os << machine.level(level).name << '[' << dense - machine.component_id(level, 0)
+     << "]." << kKind[id % 3];
+  return os.str();
+}
+
+std::string Result::to_string() const {
+  std::ostringstream os;
+  os << "binding analysis of machine '" << machine << "': "
+     << report.summary() << '\n';
+  for (const Diagnostic& d : report.diagnostics) {
+    os << "  " << d.to_string() << '\n';
+  }
+  if (!report.clean()) {
+    return os.str();
+  }
+  os << "traffic: " << load.total_bytes << " bytes in " << load.total_flows
+     << " flows over " << load.rounds.size() << " rounds ("
+     << load.self_bytes << " self bytes)\n";
+  for (const RoundLoad& r : load.rounds) {
+    os << "  round " << r.round << ": " << r.bytes << " bytes, " << r.flows
+       << " flows";
+    if (r.hottest >= 0) {
+      os << ", max oversubscription " << r.max_oversubscription << " on "
+         << r.hottest_name;
+    }
+    os << '\n';
+  }
+  if (!load.top_channels.empty()) {
+    os << "hottest channels:\n";
+    for (const ChannelLoad& c : load.top_channels) {
+      os << "  " << c.name << ": " << c.bytes << " bytes in " << c.flows
+         << " flows, " << c.serialization_seconds
+         << " s serialization, oversubscription " << c.oversubscription
+         << '\n';
+    }
+  }
+  os << "lower bound: " << bound.lower_bound << " s (critical path "
+     << bound.critical_path << " s, channel serialization "
+     << bound.channel_serialization << " s)\n";
+  return os.str();
+}
+
+Result analyze_jobs(const topo::Machine& machine,
+                    const std::vector<JobBinding>& jobs,
+                    const Options& options) {
+  Result result;
+  result.machine = machine.name();
+  Sink sink(result.report, jobs.size() > 1);
+  if (jobs.empty()) {
+    return result;
+  }
+  RouteCache routes(machine);
+  std::vector<JobFacts> facts(jobs.size());
+  bool ok = true;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    sink.job(static_cast<int>(j));
+    ok = check_job(machine, jobs[j], routes, sink, facts[j]) && ok;
+  }
+  if (!ok) {
+    return result;
+  }
+  sink.job(-1);
+  if (!options.load_report && !options.lower_bound) {
+    return result;  // preverify configuration: diagnostics only.
+  }
+  const std::vector<double> capacities = simnet::channel_capacities(machine);
+  if (options.load_report) {
+    build_load_report(machine, jobs, facts, capacities, routes, options.top_k,
+                      result.load);
+  }
+  if (options.lower_bound) {
+    build_bound(jobs, facts, capacities, routes, sink, result.bound);
+  }
+  return result;
+}
+
+Result analyze(const simmpi::Plan& plan, const topo::Machine& machine,
+               const std::vector<std::int64_t>& core_of_rank,
+               const Options& options) {
+  JobBinding job;
+  job.schedule = &plan.schedule;
+  job.exec = &plan.exec;
+  job.repetitions = plan.repetitions;
+  job.core_of_rank = &core_of_rank;
+  return analyze_jobs(machine, {job}, options);
+}
+
+}  // namespace mr::verify::binding

@@ -29,6 +29,7 @@ const char* to_string(Check check) {
     case Check::Race: return "race";
     case Check::DeadWrite: return "dead-write";
     case Check::UninitRead: return "uninit-read";
+    case Check::Binding: return "binding";
   }
   return "?";
 }

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <string>
 
 #include "mixradix/topo/discover.hpp"
 #include "mixradix/topo/presets.hpp"
@@ -96,6 +98,106 @@ TEST(Machine, RejectsBadSpecs) {
   EXPECT_THROW(Machine("bad", {{"node", 2, 0.0, 1e9, -1.0}}), invalid_argument);
   EXPECT_THROW(Machine("bad", {}), invalid_argument);
   EXPECT_THROW(hydra(4, 3), invalid_argument);
+}
+
+// Capture the diagnostic text of a rejected construction.
+template <typename Fn>
+std::string rejection_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Machine, BadLevelDiagnosticsAreLocated) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto levels = testbox().levels();
+
+  levels[1].radix = 1;
+  std::string msg = rejection_message([&] { Machine("bad", levels); });
+  EXPECT_NE(msg.find("level 1 ('socket')"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("radix"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("got 1"), std::string::npos) << msg;
+
+  levels = testbox().levels();
+  levels[2].link_bandwidth = kNaN;
+  msg = rejection_message([&] { Machine("bad", levels); });
+  EXPECT_NE(msg.find("level 2 ('core')"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("link bandwidth"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("nan"), std::string::npos) << msg;
+
+  levels = testbox().levels();
+  levels[0].link_latency = kInf;
+  msg = rejection_message([&] { Machine("bad", levels); });
+  EXPECT_NE(msg.find("level 0 ('node')"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("link latency"), std::string::npos) << msg;
+
+  levels = testbox().levels();
+  levels[1].mem_bandwidth = -4.0;
+  msg = rejection_message([&] { Machine("bad", levels); });
+  EXPECT_NE(msg.find("level 1 ('socket')"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("memory bandwidth"), std::string::npos) << msg;
+}
+
+TEST(Machine, BadCostAndFlopsDiagnosticsNameTheField) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const auto levels = testbox().levels();
+
+  MessagingCosts costs;
+  costs.send_overhead = kNaN;
+  std::string msg = rejection_message([&] { Machine("bad", levels, costs); });
+  EXPECT_NE(msg.find("send_overhead"), std::string::npos) << msg;
+
+  costs = MessagingCosts{};
+  costs.recv_overhead = -1.0;
+  msg = rejection_message([&] { Machine("bad", levels, costs); });
+  EXPECT_NE(msg.find("recv_overhead"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("-1"), std::string::npos) << msg;
+
+  costs = MessagingCosts{};
+  costs.base_latency = -2e-7;
+  msg = rejection_message([&] { Machine("bad", levels, costs); });
+  EXPECT_NE(msg.find("base_latency"), std::string::npos) << msg;
+
+  costs = MessagingCosts{};
+  costs.eager_threshold = -1;
+  msg = rejection_message([&] { Machine("bad", levels, costs); });
+  EXPECT_NE(msg.find("eager_threshold"), std::string::npos) << msg;
+
+  costs = MessagingCosts{};
+  costs.reduce_seconds_per_byte = kNaN;
+  msg = rejection_message([&] { Machine("bad", levels, costs); });
+  EXPECT_NE(msg.find("reduce_seconds_per_byte"), std::string::npos) << msg;
+
+  msg = rejection_message([&] { Machine("bad", levels, {}, 0.0); });
+  EXPECT_NE(msg.find("core_flops"), std::string::npos) << msg;
+  msg = rejection_message([&] { Machine("bad", levels, {}, kNaN); });
+  EXPECT_NE(msg.find("core_flops"), std::string::npos) << msg;
+}
+
+TEST(Machine, VariantBuildersRevalidate) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const Machine base = testbox();
+
+  std::string msg = rejection_message([&] { base.with_nodes(1); });
+  EXPECT_NE(msg.find("at least two nodes"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("got 1"), std::string::npos) << msg;
+
+  msg = rejection_message([&] { base.with_nic_scale(0.0); });
+  EXPECT_NE(msg.find("NIC scale"), std::string::npos) << msg;
+  EXPECT_THROW(base.with_nic_scale(kNaN), invalid_argument);
+  EXPECT_THROW(base.with_nic_scale(-2.0), invalid_argument);
+
+  MessagingCosts costs;
+  costs.send_overhead = kNaN;
+  EXPECT_THROW(base.with_costs(costs), invalid_argument);
+
+  // The good paths still work and preserve the machine identity.
+  EXPECT_EQ(base.with_nodes(4).cores(), 32);
+  EXPECT_DOUBLE_EQ(base.with_nic_scale(2.0).level(0).link_bandwidth, 2e9);
 }
 
 // Discovery against a synthetic sysfs tree.

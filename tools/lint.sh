@@ -1,16 +1,29 @@
 #!/usr/bin/env bash
-# Run clang-tidy (profile: .clang-tidy) over the library, example, bench and
-# test sources. Skips gracefully when clang-tidy is not installed so the
-# script can sit in CI pipelines whose images only carry gcc.
+# Run clang-tidy (profile: .clang-tidy, plus the stricter scoped profiles in
+# src/simnet and src/verify) over the library, example, bench and test
+# sources. Skips gracefully when clang-tidy is not installed so the script
+# can sit in CI pipelines whose images only carry gcc.
 #
-#   tools/lint.sh [build-dir]
+#   tools/lint.sh [--changed] [build-dir]
+#
+# --changed lints only the .cpp files that differ from origin/main (or main
+# when no remote exists) — the mode PR builds use; the default lints
+# everything. Files are linted in parallel, one clang-tidy process per CPU.
 #
 # The build dir (default: build-tidy) is configured with
 # CMAKE_EXPORT_COMPILE_COMMANDS so clang-tidy sees the real compile flags.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build-tidy}"
+changed=0
+build=""
+for arg in "$@"; do
+  case "$arg" in
+    --changed) changed=1 ;;
+    *) build="$arg" ;;
+  esac
+done
+build="${build:-$repo/build-tidy}"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"
@@ -19,14 +32,36 @@ fi
 
 cmake -S "$repo" -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 
-mapfile -t sources < <(
-  find "$repo/src" "$repo/examples" "$repo/bench" "$repo/tests" -name '*.cpp' |
-  sort
-)
+if [[ "$changed" -eq 1 ]]; then
+  base="$(git -C "$repo" merge-base HEAD origin/main 2>/dev/null ||
+          git -C "$repo" merge-base HEAD main 2>/dev/null || true)"
+  if [[ -z "$base" ]]; then
+    echo "lint.sh: no origin/main or main to diff against; linting everything"
+    changed=0
+  else
+    mapfile -t sources < <(
+      git -C "$repo" diff --name-only "$base" -- \
+          'src/*.cpp' 'examples/*.cpp' 'bench/*.cpp' 'tests/*.cpp' |
+      while read -r rel; do
+        [[ -f "$repo/$rel" ]] && echo "$repo/$rel"
+      done | sort
+    )
+    if [[ "${#sources[@]}" -eq 0 ]]; then
+      echo "lint.sh: no changed sources vs $base; nothing to lint"
+      exit 0
+    fi
+  fi
+fi
+if [[ "$changed" -eq 0 ]]; then
+  mapfile -t sources < <(
+    find "$repo/src" "$repo/examples" "$repo/bench" "$repo/tests" \
+         -name '*.cpp' | sort
+  )
+fi
 
-echo "lint.sh: clang-tidy over ${#sources[@]} files"
+jobs="$(nproc 2>/dev/null || echo 4)"
+echo "lint.sh: clang-tidy over ${#sources[@]} files, $jobs at a time"
 status=0
-for file in "${sources[@]}"; do
-  clang-tidy -p "$build" --quiet "$file" || status=1
-done
+printf '%s\0' "${sources[@]}" |
+  xargs -0 -n 1 -P "$jobs" clang-tidy -p "$build" --quiet || status=1
 exit "$status"
