@@ -29,6 +29,10 @@ struct Options {
   int repetitions = 2;
   int threads = 0;  ///< 0 = auto; passed through to SweepConfig::threads.
   bool no_plan_cache = false;  ///< --no-plan-cache: compile per point.
+  /// "--tune=K": opt-in autotuner screening — forwarded to
+  /// SweepConfig::tune_top_k, replacing the bench's fixed order list with
+  /// the top-K orders mr::tune finds for the same workload. 0 = off.
+  int tune_k = 0;
   std::string csv_path;
 
   /// Number of workers after resolving 0 = auto.
@@ -51,13 +55,15 @@ struct Options {
         o.threads = static_cast<int>(parse_int(arg, arg.substr(10), 1));
       } else if (arg.rfind("--csv=", 0) == 0) {
         o.csv_path = arg.substr(6);
+      } else if (arg.rfind("--tune=", 0) == 0) {
+        o.tune_k = static_cast<int>(parse_int(arg, arg.substr(7), 1));
       } else if (arg == "--no-plan-cache") {
         o.no_plan_cache = true;
       } else {
         throw std::invalid_argument(
             "unknown flag: " + arg +
             " (known: --max-size=B --reps=N --threads=N --csv=PATH "
-            "--no-plan-cache)");
+            "--tune=K --no-plan-cache)");
       }
     }
     return o;
@@ -152,7 +158,11 @@ inline void emit(const std::string& figure, const Options& opts,
     std::cout << "plan cache: " << stats.entries << " plans, " << stats.hits
               << " hits / " << stats.misses << " compiles ("
               << static_cast<int>(stats.hit_rate() * 100.0 + 0.5)
-              << "% hit rate)\n";
+              << "% hit rate)";
+    if (stats.evictions > 0) {
+      std::cout << ", " << stats.evictions << " evictions";
+    }
+    std::cout << "\n";
   }
   if (!opts.csv_path.empty()) {
     std::ofstream csv(opts.csv_path);

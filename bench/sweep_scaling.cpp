@@ -63,6 +63,13 @@ int main(int argc, char** argv) {
   config.collective = mr::simmpi::Collective::Alltoall;
   config.repetitions = opts.repetitions;
   config.use_plan_cache = !opts.no_plan_cache;
+  if (opts.tune_k > 0) {
+    // --tune=K: let the autotuner pick which K orders to sweep instead of
+    // the fixed figure-3 list (the funnel screens all 4! = 24 orders).
+    config.tune_top_k = opts.tune_k;
+    std::cout << "sweep_scaling: --tune=" << opts.tune_k
+              << " (autotuner replaces the fixed order list)\n";
+  }
 
   const int threads = opts.resolved_threads();
   const std::size_t points = 2 * config.orders.size() * config.sizes.size();

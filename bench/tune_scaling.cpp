@@ -1,0 +1,281 @@
+// mr::tune funnel validation and scaling: the three claims the autotuner
+// ships with, measured and gated.
+//
+//  A. AGREEMENT — on every preset machine x paper message size, the
+//     funnel's top-1 order equals the exhaustive sweep's argmin (the same
+//     query with dedup and pruning disabled simulates all h! orders).
+//  B. SCALING — on deep hierarchies (depth >= 6) the funnel runs >= 5x
+//     fewer FlowSim invocations than exhaustive enumeration, while staying
+//     SOUND: every pruned candidate's exhaustive score really is outside
+//     the top k, and every dedup class member scores exactly its
+//     representative's score.
+//  C. DETERMINISM — the canonical JSON report is byte-identical for
+//     --threads=1 and --threads=4.
+//
+// Verdicts land in BENCH_tune.json (`top1_matches_exhaustive`,
+// `pruning_sound`, `sim_reduction`, `identical_output`) so CI greps them.
+// Pass --quick to trim part A's size axis and skip the depth-7 search.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/tune/report.hpp"
+#include "mixradix/tune/search.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Depth-6 variant of Hydra: the paper's node/socket/half/core levels with
+/// the socket split into two NUMA domains and the core level into halves —
+/// 6! = 720 orders, past what exhaustive sweeps comfortably enumerate.
+mr::topo::Machine deep6() {
+  std::vector<mr::topo::LevelSpec> levels = {
+      {"node", 4, 1.0e-6, 12.5e9, 0.0},
+      {"socket", 2, 4.0e-7, 20.0e9, 85.0e9},
+      {"numa", 2, 2.5e-7, 30.0e9, 60.0e9},
+      {"half", 2, 1.5e-7, 40.0e9, 48.0e9},
+      {"l3", 2, 1.2e-7, 25.0e9, 30.0e9},
+      {"core", 2, 1.0e-7, 9.0e9, 12.0e9},
+  };
+  return mr::topo::Machine("deep6", std::move(levels));
+}
+
+/// Depth-7, 5040 orders: a binary cache/NUMA tree over 4-core leaves.
+mr::topo::Machine deep7() {
+  std::vector<mr::topo::LevelSpec> levels = {
+      {"cabinet", 2, 2.0e-6, 25.0e9, 0.0},
+      {"node", 2, 1.0e-6, 12.5e9, 0.0},
+      {"socket", 2, 4.0e-7, 20.0e9, 85.0e9},
+      {"numa", 2, 2.5e-7, 30.0e9, 60.0e9},
+      {"half", 2, 1.5e-7, 40.0e9, 48.0e9},
+      {"l3", 2, 1.2e-7, 25.0e9, 30.0e9},
+      {"core", 4, 1.0e-7, 9.0e9, 12.0e9},
+  };
+  return mr::topo::Machine("deep7", std::move(levels));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  bench::Options opts;
+  try {
+    opts = bench::Options::parse_args(args);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << " (tune_scaling also accepts --quick)\n";
+    return 2;
+  }
+
+  // ---- Part A: funnel top-1 == exhaustive argmin, presets x paper sizes --
+  struct Preset {
+    mr::topo::Machine machine;
+    std::int64_t comm_size;
+  };
+  const std::vector<Preset> presets = {
+      {mr::topo::testbox(), 4},
+      {mr::topo::hydra(4), 16},
+      {mr::topo::lumi(2), 32},
+  };
+  const auto sizes =
+      mr::harness::paper_sizes(quick ? 128ll << 10 : std::min<std::int64_t>(
+                                                         opts.max_size,
+                                                         8ll << 20));
+
+  std::size_t agreement_points = 0, agreement_failures = 0;
+  std::int64_t funnel_sims = 0, exhaustive_sims = 0;
+  const auto agreement_start = std::chrono::steady_clock::now();
+  for (const Preset& preset : presets) {
+    for (const std::int64_t bytes : sizes) {
+      ++agreement_points;
+      mr::tune::TuneQuery query;
+      query.comm_sizes = {preset.comm_size};
+      query.total_bytes = {bytes};
+      query.k = 1;
+      query.threads = opts.threads;
+      query.repetitions = opts.repetitions;
+      query.use_plan_cache = !opts.no_plan_cache;
+      const auto funnel = mr::tune::tune(preset.machine, query);
+
+      mr::tune::TuneQuery brute = query;
+      brute.dedup = false;
+      brute.prune = false;
+      const auto exhaustive = mr::tune::tune(preset.machine, brute);
+
+      funnel_sims += funnel.stats.sim_points;
+      exhaustive_sims += exhaustive.stats.sim_points;
+      const mr::Order& got = funnel.candidates[funnel.top.front()].order;
+      const mr::Order& want =
+          exhaustive.candidates[exhaustive.top.front()].order;
+      if (got != want) {
+        ++agreement_failures;
+        std::cout << "  MISMATCH " << preset.machine.name() << "/" << bytes
+                  << "B: funnel " << mr::order_to_string(got)
+                  << " vs exhaustive " << mr::order_to_string(want) << "\n";
+      }
+    }
+  }
+  const double agreement_seconds = seconds_since(agreement_start);
+  const bool top1_matches = agreement_failures == 0;
+  std::cout << "tune_scaling A (agreement): " << agreement_points
+            << " (machine, size) points, " << funnel_sims
+            << " funnel sims vs " << exhaustive_sims << " exhaustive, "
+            << agreement_points - agreement_failures << "/" << agreement_points
+            << " top-1 agree, " << agreement_seconds << " s\n";
+
+  // ---- Part B: >= 5x fewer FlowSim invocations at depth >= 6, soundly ----
+  const auto machine6 = deep6();
+  mr::tune::TuneQuery deep_query;
+  deep_query.comm_sizes = {16};
+  deep_query.total_bytes = {256ll << 10};
+  deep_query.k = 3;
+  deep_query.threads = opts.threads;
+  deep_query.repetitions = opts.repetitions;
+  deep_query.use_plan_cache = !opts.no_plan_cache;
+
+  const auto deep_start = std::chrono::steady_clock::now();
+  const auto funnel6 = mr::tune::tune(machine6, deep_query);
+  const double funnel6_seconds = seconds_since(deep_start);
+
+  mr::tune::TuneQuery brute6 = deep_query;
+  brute6.dedup = false;
+  brute6.prune = false;
+  const auto brute6_start = std::chrono::steady_clock::now();
+  const auto exhaustive6 = mr::tune::tune(machine6, brute6);
+  const double brute6_seconds = seconds_since(brute6_start);
+
+  // Exhaustive score of every order (all 720 were simulated).
+  std::map<mr::Order, double> score_of;
+  for (const auto& c : exhaustive6.candidates) {
+    score_of[c.order] = c.score;
+  }
+  // The true k-th best score over all orders.
+  std::vector<double> all_scores;
+  all_scores.reserve(score_of.size());
+  for (const auto& [order, score] : score_of) all_scores.push_back(score);
+  std::sort(all_scores.begin(), all_scores.end());
+  const double kth_best =
+      all_scores[static_cast<std::size_t>(deep_query.k) - 1];
+
+  std::size_t unsound_prunes = 0, class_mismatches = 0;
+  for (const auto& c : funnel6.candidates) {
+    if (c.fate == mr::tune::Fate::Pruned &&
+        score_of.at(c.order) <= kth_best) {
+      ++unsound_prunes;
+      std::cout << "  UNSOUND PRUNE " << mr::order_to_string(c.order)
+                << ": exhaustive score " << score_of.at(c.order)
+                << " <= k-th best " << kth_best << "\n";
+    }
+    // Dedup soundness: every member of a class must score EXACTLY its
+    // representative (byte-identical simulations, not approximations).
+    for (const mr::Order& member : c.members) {
+      if (score_of.at(member) != score_of.at(c.order)) {
+        ++class_mismatches;
+        std::cout << "  CLASS MISMATCH " << mr::order_to_string(member)
+                  << " scores " << score_of.at(member) << " != rep "
+                  << mr::order_to_string(c.order) << " "
+                  << score_of.at(c.order) << "\n";
+      }
+    }
+  }
+  const mr::Order& top6_funnel = funnel6.candidates[funnel6.top.front()].order;
+  const mr::Order& top6_brute =
+      exhaustive6.candidates[exhaustive6.top.front()].order;
+  const bool deep_top1 = top6_funnel == top6_brute;
+  if (!deep_top1) ++agreement_failures;
+  const bool pruning_sound = unsound_prunes == 0 && class_mismatches == 0;
+  const double sim_reduction =
+      funnel6.stats.sim_points > 0
+          ? static_cast<double>(funnel6.stats.exhaustive_points) /
+                static_cast<double>(funnel6.stats.sim_points)
+          : 0.0;
+  std::cout << "tune_scaling B (deep6, " << funnel6.stats.orders
+            << " orders): " << funnel6.stats.classes << " classes, "
+            << funnel6.stats.pruned << " pruned, " << funnel6.stats.simulated
+            << " simulated -> " << funnel6.stats.sim_points << " of "
+            << funnel6.stats.exhaustive_points << " sims (" << sim_reduction
+            << "x reduction), funnel " << funnel6_seconds << " s vs exhaustive "
+            << brute6_seconds << " s\n"
+            << "  top-1 " << mr::order_to_string(top6_funnel)
+            << (deep_top1 ? " == " : " != ") << mr::order_to_string(top6_brute)
+            << ", pruning sound: " << (pruning_sound ? "yes" : "NO") << "\n";
+
+  double sim_reduction7 = 0.0;
+  if (!quick) {
+    const auto machine7 = deep7();
+    mr::tune::TuneQuery query7 = deep_query;
+    const auto start7 = std::chrono::steady_clock::now();
+    const auto funnel7 = mr::tune::tune(machine7, query7);
+    sim_reduction7 = funnel7.stats.sim_points > 0
+                         ? static_cast<double>(funnel7.stats.exhaustive_points) /
+                               static_cast<double>(funnel7.stats.sim_points)
+                         : 0.0;
+    std::cout << "tune_scaling B (deep7, " << funnel7.stats.orders
+              << " orders): " << funnel7.stats.classes << " classes -> "
+              << funnel7.stats.sim_points << " sims (" << sim_reduction7
+              << "x reduction), " << seconds_since(start7) << " s\n";
+  }
+
+  // ---- Part C: byte-identical reports across thread counts ---------------
+  mr::tune::TuneQuery det = deep_query;
+  det.threads = 1;
+  std::ostringstream serial_json;
+  mr::tune::write_json(serial_json, mr::tune::tune(machine6, det));
+  det.threads = 4;
+  std::ostringstream parallel_json;
+  mr::tune::write_json(parallel_json, mr::tune::tune(machine6, det));
+  const bool identical = serial_json.str() == parallel_json.str();
+  std::cout << "tune_scaling C (determinism): report identical for "
+               "--threads={1,4}: "
+            << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
+
+  const bool pass =
+      top1_matches && deep_top1 && pruning_sound && sim_reduction >= 5.0 &&
+      identical;
+
+  std::ofstream json("BENCH_tune.json");
+  json << "{\n"
+       << "  \"bench\": \"tune_scaling\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"agreement_points\": " << agreement_points << ",\n"
+       << "  \"funnel_sims\": " << funnel_sims << ",\n"
+       << "  \"exhaustive_sims\": " << exhaustive_sims << ",\n"
+       << "  \"agreement_seconds\": " << agreement_seconds << ",\n"
+       << "  \"deep6_orders\": " << funnel6.stats.orders << ",\n"
+       << "  \"deep6_classes\": " << funnel6.stats.classes << ",\n"
+       << "  \"deep6_pruned\": " << funnel6.stats.pruned << ",\n"
+       << "  \"deep6_sim_points\": " << funnel6.stats.sim_points << ",\n"
+       << "  \"deep6_exhaustive_points\": " << funnel6.stats.exhaustive_points
+       << ",\n"
+       << "  \"deep6_funnel_seconds\": " << funnel6_seconds << ",\n"
+       << "  \"deep6_exhaustive_seconds\": " << brute6_seconds << ",\n"
+       << "  \"sim_reduction\": " << sim_reduction << ",\n"
+       << "  \"sim_reduction_deep7\": " << sim_reduction7 << ",\n"
+       << "  \"top1_matches_exhaustive\": "
+       << (top1_matches && deep_top1 ? "true" : "false") << ",\n"
+       << "  \"pruning_sound\": " << (pruning_sound ? "true" : "false")
+       << ",\n"
+       << "  \"identical_output\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "json written to BENCH_tune.json\n";
+  return pass ? 0 : 1;
+}

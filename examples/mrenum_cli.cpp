@@ -9,6 +9,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "mixradix/mr/core_select.hpp"
 #include "mixradix/mr/equivalence.hpp"
@@ -30,8 +31,31 @@ int usage() {
       "flags:\n"
       "  --metrics fast|reference   metric kernels for `orders`: closed-form\n"
       "                             (default) or the brute-force reference;\n"
-      "                             the output is identical either way\n";
+      "                             the output is identical either way\n"
+      "  --shard i/n                `orders` emits only lexicographic ranks\n"
+      "                             i, i+n, i+2n, ... (factorial-number-\n"
+      "                             system unranking, no enumeration of the\n"
+      "                             other shards); the n shards partition\n"
+      "                             the h! orders exactly. Default 0/1.\n";
   return 2;
+}
+
+/// Parse "i/n" (e.g. "1/4") into {index, count}; throws on malformed specs.
+std::pair<long long, long long> parse_shard(const std::string& value) {
+  const auto slash = value.find('/');
+  long long index = -1, count = -1;
+  try {
+    if (slash != std::string::npos) {
+      index = std::stoll(value.substr(0, slash));
+      count = std::stoll(value.substr(slash + 1));
+    }
+  } catch (const std::exception&) {
+  }
+  if (index < 0 || count < 1 || index >= count) {
+    throw mr::invalid_argument("--shard must be i/n with 0 <= i < n, got '" +
+                               value + "'");
+  }
+  return {index, count};
 }
 
 mr::MetricsImpl parse_metrics_impl(const std::string& value) {
@@ -76,7 +100,12 @@ int main(int argc, char** argv) {
       const std::int64_t comm_size =
           std::stoll(flag("comm-size", std::to_string(h.total()).c_str()));
       const MetricsImpl impl = parse_metrics_impl(flag("metrics", "fast"));
-      for (const Order& order : all_orders_lexicographic(h.depth())) {
+      const auto [shard, nshards] = parse_shard(flag("shard", "0/1"));
+      // Unrank each of this shard's lexicographic positions directly — a
+      // shard never materialises (or even iterates) the other n-1 shards,
+      // so n workers splitting an h! enumeration each do 1/n of the work.
+      for (long long idx = shard; idx < factorial(h.depth()); idx += nshards) {
+        const Order order = nth_order_lexicographic(h.depth(), idx);
         const auto ch = characterize_order(h, order, comm_size, impl);
         const auto dist = slurm::equivalent_distribution(h, order);
         std::cout << ch.to_string() << "  distribution="

@@ -1,0 +1,142 @@
+// mrtune: the mapping autotuner from the command line — "which enumeration
+// orders should my job script use on this machine for this workload?"
+//
+//   $ ./mrtune --machine lumi:2 --size 256 --collective alltoall --k 5
+//   $ ./mrtune --machine hydra:4 --size 16 --collective allgather,allreduce
+//              --bytes 1048576,8388608 --json 1
+//   $ ./mrtune --machine testbox --size 4 --concurrency single --k 2
+//   $ ./mrtune --machine lumi:2 --size 32 --budget-points 40 --k 3
+//   $ ./mrtune --machine lumi:2 --size 32 --shard 0/4   # 1 of 4 workers
+//
+// Prints the top-k orders with their §3.3 metric tuples, simulated scores
+// and funnel provenance; --json 1 emits the canonical machine-readable
+// report instead (byte-identical across runs and thread counts when the
+// budget is a point budget or absent).
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mixradix/simmpi/plan_cache.hpp"
+#include "mixradix/topo/presets.hpp"
+#include "mixradix/tune/report.hpp"
+#include "mixradix/tune/search.hpp"
+#include "mixradix/util/expect.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: mrtune [flags]\n"
+      "  --machine SPEC      testbox | hydra:N[:nics] | hydra_node |\n"
+      "                      lumi:N | lumi_node | generic:n:s:c\n"
+      "  --size S[,S...]     communicator sizes (default: machine cores)\n"
+      "  --collective C[,C]  alltoall (default), allgather, allreduce,\n"
+      "                      bcast, reduce, reduce_scatter, gather,\n"
+      "                      scatter, scan, barrier\n"
+      "  --bytes B[,B...]    total payload per point (default 8388608)\n"
+      "  --concurrency MODE  all (default) | single subcommunicator\n"
+      "  --k K               orders to return (default 3)\n"
+      "  --reps N            repetitions per point (default 2)\n"
+      "  --threads N         0 = default pool width, 1 = serial\n"
+      "  --slack S           completion slack (default 0 = exact)\n"
+      "  --budget-points N   stop after N point simulations (anytime)\n"
+      "  --budget-seconds S  wall-clock cap (non-deterministic)\n"
+      "  --shard i/n         search only candidate shard i of n\n"
+      "  --plan-cache-cap N  bound the shared plan cache (LRU, 0 = off)\n"
+      "  --json 1            canonical JSON report on stdout\n";
+  return 2;
+}
+
+mr::topo::Machine parse_machine(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ':')) parts.push_back(item);
+  MR_EXPECT(!parts.empty(), "empty machine spec");
+  const auto arg = [&](std::size_t i, int fallback) {
+    return i < parts.size() ? std::stoi(parts[i]) : fallback;
+  };
+  if (parts[0] == "testbox") return mr::topo::testbox();
+  if (parts[0] == "hydra") return mr::topo::hydra(arg(1, 4), arg(2, 1));
+  if (parts[0] == "hydra_node") return mr::topo::hydra_node(arg(1, 1));
+  if (parts[0] == "lumi") return mr::topo::lumi(arg(1, 2));
+  if (parts[0] == "lumi_node") return mr::topo::lumi_node();
+  if (parts[0] == "generic") {
+    return mr::topo::generic(arg(1, 2), arg(2, 2), arg(3, 8));
+  }
+  throw mr::invalid_argument("unknown machine spec: " + spec);
+}
+
+std::vector<std::string> split(const std::string& spec, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  MR_EXPECT(!out.empty(), "empty list: " + spec);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mr;
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  if (argc > 1 && (argc - 1) % 2 != 0) return usage();
+  const auto flag = [&](const char* name, const char* fallback) {
+    const auto it = flags.find(name);
+    return it == flags.end() ? std::string(fallback) : it->second;
+  };
+
+  try {
+    const topo::Machine machine = parse_machine(flag("machine", "testbox"));
+    tune::TuneQuery query;
+    query.collectives.clear();
+    for (const std::string& name : split(flag("collective", "alltoall"), ',')) {
+      query.collectives.push_back(tune::parse_collective(name));
+    }
+    for (const std::string& s :
+         split(flag("size", std::to_string(machine.cores()).c_str()), ',')) {
+      query.comm_sizes.push_back(std::stoll(s));
+    }
+    query.total_bytes.clear();
+    for (const std::string& b : split(flag("bytes", "8388608"), ',')) {
+      query.total_bytes.push_back(std::stoll(b));
+    }
+    const std::string mode = flag("concurrency", "all");
+    MR_EXPECT(mode == "all" || mode == "single",
+              "--concurrency must be 'all' or 'single'");
+    query.concurrency = mode == "all" ? tune::Concurrency::AllComms
+                                      : tune::Concurrency::SingleComm;
+    query.k = std::stoi(flag("k", "3"));
+    query.repetitions = std::stoi(flag("reps", "2"));
+    query.threads = std::stoi(flag("threads", "0"));
+    query.completion_slack = std::stod(flag("slack", "0"));
+    query.budget.max_points = std::stoll(flag("budget-points", "0"));
+    query.budget.max_seconds = std::stod(flag("budget-seconds", "0"));
+    const std::string shard = flag("shard", "0/1");
+    const auto slash = shard.find('/');
+    MR_EXPECT(slash != std::string::npos, "--shard must be i/n");
+    query.shard_index = std::stoi(shard.substr(0, slash));
+    query.shard_count = std::stoi(shard.substr(slash + 1));
+    const std::size_t cache_cap = std::stoull(flag("plan-cache-cap", "0"));
+    if (cache_cap > 0) simmpi::PlanCache::shared().set_capacity(cache_cap);
+
+    const tune::TuneReport report = tune::tune(machine, query);
+    if (flag("json", "0") != "0") {
+      tune::write_json(std::cout, report, /*candidates=*/false);
+    } else {
+      std::cout << tune::to_string(report);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

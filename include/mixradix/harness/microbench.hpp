@@ -57,6 +57,15 @@ struct MicrobenchResult {
 MicrobenchResult run_microbench(const topo::Machine& machine,
                                 const MicrobenchConfig& config);
 
+/// Steps 1-2 of the protocol without running anything: the compiled plan
+/// and per-communicator core bindings run_microbench would execute
+/// (timing-affecting fields of `config` beyond the binding — slack, engine,
+/// workspace — are ignored). Shared with mr::tune, whose funnel needs the
+/// same jobs twice: once for the static lower bound and once for the
+/// simulation of the survivors.
+std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
+                                           const MicrobenchConfig& config);
+
 /// One figure series: an order swept over message sizes.
 struct SweepSeries {
   OrderCharacter character;  ///< the legend tuple (order, ring cost, pcts).
@@ -85,6 +94,15 @@ struct SweepConfig {
   /// Forwarded to MicrobenchConfig::reference_engine. The sweep's point
   /// workspaces are disabled too (the reference engine allocates fresh).
   bool reference_engine = false;
+  /// Opt-in tuner screening (bench `--tune=K`): when > 0, `orders` is
+  /// REPLACED by the top-K orders mr::tune finds for this sweep's
+  /// (collective, comm_size, sizes, all_comms) workload — the multi-fidelity
+  /// funnel screens the full h! space so the sweep only simulates mappings
+  /// worth plotting. 0 = off (sweep exactly the given orders).
+  int tune_top_k = 0;
+  /// Optional point budget for the screening search (0 = unlimited);
+  /// forwarded to tune::Budget::max_points.
+  std::int64_t tune_budget_points = 0;
 };
 
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,

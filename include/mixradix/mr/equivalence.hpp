@@ -75,4 +75,18 @@ std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
                                    Equivalence granularity, int threads = 0,
                                    MetricsImpl impl = MetricsImpl::Fast);
 
+/// Merge an ExactPlacement classification into a coarser granularity by
+/// re-signing ONE representative per exact class (orders in an exact class
+/// share a placement, hence every coarser signature). Equal to
+/// classify_orders(h, comm_size, granularity) but with exact.size()
+/// signature computations instead of h! — the cheap path for tools that
+/// already hold the exact partition and want the coarser views too
+/// (explore_orders). Characters are reused from the exact classes, never
+/// recomputed. Precondition: `exact` is a classify_orders(...,
+/// ExactPlacement, ...) result for the same (h, comm_size).
+std::vector<OrderClass> coarsen_classes(const Hierarchy& h,
+                                        std::int64_t comm_size,
+                                        const std::vector<OrderClass>& exact,
+                                        Equivalence granularity);
+
 }  // namespace mr

@@ -20,8 +20,8 @@ std::int64_t count_for(std::int64_t total_bytes, std::int64_t comm_size) {
 
 }  // namespace
 
-MicrobenchResult run_microbench(const topo::Machine& machine,
-                                const MicrobenchConfig& config) {
+std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
+                                           const MicrobenchConfig& config) {
   const Hierarchy& h = machine.hierarchy();
   MR_EXPECT(config.comm_size >= 2, "communicator needs at least two ranks");
   MR_EXPECT(h.total() % config.comm_size == 0,
@@ -64,6 +64,12 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
     }
     jobs.push_back(std::move(job));
   }
+  return jobs;
+}
+
+MicrobenchResult run_microbench(const topo::Machine& machine,
+                                const MicrobenchConfig& config) {
+  const std::vector<simmpi::PlanJob> jobs = protocol_jobs(machine, config);
 
   simmpi::ExecOptions exec;
   exec.completion_slack = config.completion_slack;
@@ -95,7 +101,7 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
   };
   result.bw_p10 = decile(0.1);
   result.bw_p90 = decile(0.9);
-  result.algorithm = plan->algorithm;
+  result.algorithm = jobs.front().plan->algorithm;
   return result;
 }
 

@@ -1,8 +1,42 @@
 #include "mixradix/harness/microbench.hpp"
+#include "mixradix/tune/search.hpp"
 #include "mixradix/util/expect.hpp"
 #include "mixradix/util/thread_pool.hpp"
 
 namespace mr::harness {
+
+namespace {
+
+/// SweepConfig::tune_top_k screening: ask the autotuner for the top-K
+/// orders of this sweep's workload and plot those instead of the given
+/// list. The query mirrors the sweep exactly (same collective, comm size,
+/// sizes, concurrency, repetitions, slack), so the tuner's objective — the
+/// sum of point makespans — ranks orders by the very curves the sweep will
+/// draw.
+std::vector<Order> tuned_orders(const topo::Machine& machine,
+                                const SweepConfig& config) {
+  tune::TuneQuery query;
+  query.collectives = {config.collective};
+  query.comm_sizes = {config.comm_size};
+  query.total_bytes = config.sizes;
+  query.concurrency = config.all_comms ? tune::Concurrency::AllComms
+                                       : tune::Concurrency::SingleComm;
+  query.k = config.tune_top_k;
+  query.repetitions = config.repetitions;
+  query.completion_slack = config.completion_slack;
+  query.threads = config.threads;
+  query.use_plan_cache = config.use_plan_cache;
+  query.budget.max_points = config.tune_budget_points;
+  const tune::TuneReport report = tune::tune(machine, query);
+  std::vector<Order> orders;
+  orders.reserve(report.top.size());
+  for (const std::size_t idx : report.top) {
+    orders.push_back(report.candidates[idx].order);
+  }
+  return orders;
+}
+
+}  // namespace
 
 std::vector<std::int64_t> paper_sizes(std::int64_t max_bytes) {
   // The paper's x-axis ticks: 16 KB, 128 KB, 1 MB, 8 MB, 64 MB, 512 MB.
@@ -20,10 +54,13 @@ std::vector<std::int64_t> paper_sizes(std::int64_t max_bytes) {
 // bit-identical to the serial path regardless of the thread count or the
 // completion order of the tasks.
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
-                                   const SweepConfig& config) {
-  MR_EXPECT(!config.orders.empty() && !config.sizes.empty(),
-            "sweep needs orders and sizes");
-  MR_EXPECT(config.threads >= 0, "threads must be non-negative");
+                                   const SweepConfig& input) {
+  MR_EXPECT(input.tune_top_k > 0 || !input.orders.empty(),
+            "sweep needs orders (or tune_top_k to find them)");
+  MR_EXPECT(!input.sizes.empty(), "sweep needs sizes");
+  MR_EXPECT(input.threads >= 0, "threads must be non-negative");
+  SweepConfig config = input;
+  if (config.tune_top_k > 0) config.orders = tuned_orders(machine, input);
   const std::size_t norders = config.orders.size();
   const std::size_t nsizes = config.sizes.size();
 

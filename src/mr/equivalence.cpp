@@ -402,6 +402,40 @@ std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_si
              : classify_reference(h, comm_size, granularity, workers, stats);
 }
 
+std::vector<OrderClass> coarsen_classes(const Hierarchy& h,
+                                        std::int64_t comm_size,
+                                        const std::vector<OrderClass>& exact,
+                                        Equivalence granularity) {
+  // Bucket the exact classes by the coarser signature of their
+  // representative. Visiting them in input order (sorted by representative)
+  // makes the first contributor of each bucket the one holding the merged
+  // class's lexicographically smallest member, so its character transfers
+  // to the merged class unchanged.
+  std::map<Signature, std::size_t> bucket_of;
+  std::vector<OrderClass> classes;
+  for (const OrderClass& cls : exact) {
+    MR_EXPECT(!cls.members.empty(), "exact class without members");
+    const Signature sig =
+        signature_of(h, cls.members.front(), comm_size, granularity);
+    const auto [it, inserted] = bucket_of.try_emplace(sig, classes.size());
+    if (inserted) {
+      classes.push_back(cls);
+      continue;
+    }
+    OrderClass& merged = classes[it->second];
+    merged.members.insert(merged.members.end(), cls.members.begin(),
+                          cls.members.end());
+  }
+  for (OrderClass& cls : classes) {
+    std::sort(cls.members.begin(), cls.members.end());
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const OrderClass& a, const OrderClass& b) {
+              return a.members.front() < b.members.front();
+            });
+  return classes;
+}
+
 std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
                                    Equivalence granularity, int threads,
                                    MetricsImpl impl) {

@@ -207,5 +207,39 @@ TEST(HashedClassifier, DistinctOrdersAgreesAcrossImpls) {
                       MetricsImpl::Reference));
 }
 
+void expect_classes_equal(const std::vector<OrderClass>& got,
+                          const std::vector<OrderClass>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    EXPECT_EQ(got[c].members, want[c].members) << "class " << c;
+    EXPECT_EQ(got[c].representative.order, want[c].representative.order);
+    EXPECT_EQ(got[c].representative.ring_cost,
+              want[c].representative.ring_cost);
+    EXPECT_EQ(got[c].representative.pair_pct, want[c].representative.pair_pct);
+  }
+}
+
+TEST(CoarsenClasses, MatchesDirectClassificationAtBothGranularities) {
+  for (const Hierarchy& h : {Hierarchy{2, 2, 4}, Hierarchy{2, 2, 2, 4}}) {
+    for (const std::int64_t comm_size : {h.total() / 2, h.total()}) {
+      const auto exact =
+          classify_orders(h, comm_size, Equivalence::ExactPlacement);
+      for (const Equivalence coarser :
+           {Equivalence::SameSetsAndInternal, Equivalence::SameSetsOnly}) {
+        expect_classes_equal(
+            coarsen_classes(h, comm_size, exact, coarser),
+            classify_orders(h, comm_size, coarser));
+      }
+    }
+  }
+}
+
+TEST(CoarsenClasses, ExactGranularityIsIdentity) {
+  const Hierarchy h{2, 2, 4};
+  const auto exact = classify_orders(h, 4, Equivalence::ExactPlacement);
+  expect_classes_equal(
+      coarsen_classes(h, 4, exact, Equivalence::ExactPlacement), exact);
+}
+
 }  // namespace
 }  // namespace mr

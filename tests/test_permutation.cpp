@@ -119,6 +119,43 @@ TEST(NthOrder, RejectsOutOfRangeIndices) {
   EXPECT_THROW(nth_order_lexicographic(0, 0), invalid_argument);
 }
 
+TEST(OrderIndex, InverseOfNthOrderForEveryRank) {
+  for (int n = 1; n <= 6; ++n) {
+    for (long long i = 0; i < factorial(n); ++i) {
+      EXPECT_EQ(order_index_lexicographic(nth_order_lexicographic(n, i)), i)
+          << "n=" << n << " index=" << i;
+    }
+  }
+}
+
+TEST(OrderIndex, WorksBeyondTheMaterialisationGuard) {
+  const Order last{13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(order_index_lexicographic(last), factorial(14) - 1);
+  const long long mid = factorial(13) + 12345;
+  EXPECT_EQ(order_index_lexicographic(nth_order_lexicographic(14, mid)), mid);
+}
+
+TEST(OrderIndex, RejectsNonPermutations) {
+  EXPECT_THROW(order_index_lexicographic(Order{0, 0, 1}), invalid_argument);
+  EXPECT_THROW(order_index_lexicographic(Order{}), invalid_argument);
+}
+
+TEST(OrderIndex, ShardsPartitionTheOrderSet) {
+  // The mrenum --shard contract: strided unranking over shards 0..n-1
+  // visits every order exactly once.
+  const int depth = 5;
+  for (const long long nshards : {1ll, 3ll, 7ll}) {
+    std::vector<Order> seen;
+    for (long long shard = 0; shard < nshards; ++shard) {
+      for (long long idx = shard; idx < factorial(depth); idx += nshards) {
+        seen.push_back(nth_order_lexicographic(depth, idx));
+      }
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, all_orders_lexicographic(depth)) << nshards << " shards";
+  }
+}
+
 TEST(IsPermutationOfIota, HandlesWideOrders) {
   // n > 64 falls back to the seen-vector path.
   Order wide(100);

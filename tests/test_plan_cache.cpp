@@ -194,5 +194,69 @@ TEST(PlanCache, SharedSweepAnalyzesAtMostOncePerKey) {
 #endif
 }
 
+TEST(PlanCacheLru, EvictsLeastRecentlyRequestedAtCapacity) {
+  PlanCache cache(/*capacity=*/2);
+  const PlanKey a{"alltoall_bruck", 8, 64, 0, 1};
+  const PlanKey b{"allgather_ring", 8, 64, 0, 1};
+  const PlanKey c{"allreduce_ring", 8, 64, 0, 1};
+  (void)cache.get(a);
+  (void)cache.get(b);
+  (void)cache.get(a);  // touch: b is now the least recent.
+  (void)cache.get(c);  // evicts b.
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // a survived the eviction (it was touched), b did not.
+  (void)cache.get(a);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  (void)cache.get(b);  // recompiles — a fresh miss, evicting c.
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PlanCacheLru, RecompiledPlanIsEquivalent) {
+  PlanCache cache(/*capacity=*/1);
+  const PlanKey a{"alltoall_bruck", 8, 128, 0, 2};
+  const PlanKey b{"allgather_ring", 8, 128, 0, 2};
+  const auto first = cache.get(a);
+  (void)cache.get(b);  // evicts a.
+  const auto second = cache.get(a);  // recompiled, not the same object...
+  EXPECT_NE(first.get(), second.get());
+  // ...but the evicted shared_ptr stays valid, and the recompile is
+  // byte-equivalent where it matters.
+  EXPECT_EQ(first->algorithm, second->algorithm);
+  EXPECT_EQ(first->nranks(), second->nranks());
+  EXPECT_EQ(first->repetitions, second->repetitions);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(PlanCacheLru, SetCapacityShrinksOldestFirstAndZeroUnbounds) {
+  PlanCache cache;
+  const PlanKey a{"alltoall_bruck", 8, 64, 0, 1};
+  const PlanKey b{"allgather_ring", 8, 64, 0, 1};
+  const PlanKey c{"allreduce_ring", 8, 64, 0, 1};
+  (void)cache.get(a);
+  (void)cache.get(b);
+  (void)cache.get(c);
+  EXPECT_EQ(cache.stats().entries, 3u);
+  cache.set_capacity(1);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  (void)cache.get(c);  // the most recent key survived.
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.set_capacity(0);  // back to unbounded: no further evictions.
+  (void)cache.get(a);
+  (void)cache.get(b);
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
 }  // namespace
 }  // namespace mr::simmpi
