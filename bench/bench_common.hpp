@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/mr/equivalence.hpp"
 #include "mixradix/simmpi/plan_cache.hpp"
@@ -17,13 +18,15 @@
 namespace bench {
 
 /// Parse "--max-size=<bytes>" / "--reps=<n>" / "--threads=<n>" /
-/// "--csv=<path>" / "--no-plan-cache" flags; the defaults reproduce the
-/// paper's axes but can be shrunk for smoke runs. Threads defaults to 0 =
-/// auto (the MIXRADIX_THREADS environment variable when set, else
-/// hardware_concurrency); "--threads=1" forces the serial path.
-/// "--no-plan-cache" recompiles every (order, size) point instead of
-/// sharing plans through PlanCache::shared(). Output is identical for
-/// every thread count and for either cache setting.
+/// "--csv=<path>" / "--no-plan-cache" / "--private-engine" flags; the
+/// defaults reproduce the paper's axes but can be shrunk for smoke runs.
+/// Threads defaults to 0 = auto (the MIXRADIX_THREADS environment variable
+/// when set, else hardware_concurrency); "--threads=1" forces the serial
+/// path. "--no-plan-cache" recompiles every (order, size) point instead of
+/// sharing plans through the engine's cache; "--private-engine" routes the
+/// bench through a non-shared mr::Engine (fresh plan cache and workspace
+/// pool). Output is identical for every thread count and for any
+/// combination of cache/engine settings.
 struct Options {
   std::int64_t max_size = 512ll << 20;
   int repetitions = 2;
@@ -33,6 +36,10 @@ struct Options {
   /// SweepConfig::tune_top_k, replacing the bench's fixed order list with
   /// the top-K orders mr::tune finds for the same workload. 0 = off.
   int tune_k = 0;
+  /// "--private-engine": run through a private mr::Engine instead of
+  /// Engine::shared() — CI uses this to assert the engine indirection
+  /// changes no output byte.
+  bool private_engine = false;
   std::string csv_path;
 
   /// Number of workers after resolving 0 = auto.
@@ -59,11 +66,13 @@ struct Options {
         o.tune_k = static_cast<int>(parse_int(arg, arg.substr(7), 1));
       } else if (arg == "--no-plan-cache") {
         o.no_plan_cache = true;
+      } else if (arg == "--private-engine") {
+        o.private_engine = true;
       } else {
         throw std::invalid_argument(
             "unknown flag: " + arg +
             " (known: --max-size=B --reps=N --threads=N --csv=PATH "
-            "--tune=K --no-plan-cache)");
+            "--tune=K --no-plan-cache --private-engine)");
       }
     }
     return o;
@@ -101,6 +110,16 @@ struct Options {
     return parsed;
   }
 };
+
+/// The engine a bench routes its work through: the process-wide
+/// Engine::shared() by default, or one process-lifetime private Engine
+/// under --private-engine (fresh plan cache and workspace pool; the worker
+/// threads are still the process pool's). Byte-identical output either way.
+inline mr::Engine& select_engine(const Options& opts) {
+  if (!opts.private_engine) return mr::Engine::shared();
+  static mr::Engine isolated;
+  return isolated;
+}
 
 /// Engine-counter line in the style of the plan-cache stats line: one run's
 /// executor instrumentation (events, queue/flow high-water marks, route
@@ -154,7 +173,7 @@ inline void emit(const std::string& figure, const Options& opts,
   if (opts.no_plan_cache) {
     std::cout << "plan cache: bypassed (--no-plan-cache)\n";
   } else {
-    const auto stats = mr::simmpi::PlanCache::shared().stats();
+    const auto stats = select_engine(opts).plan_cache().stats();
     std::cout << "plan cache: " << stats.entries << " plans, " << stats.hits
               << " hits / " << stats.misses << " compiles ("
               << static_cast<int>(stats.hit_rate() * 100.0 + 0.5)

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/mr/permutation.hpp"
 #include "mixradix/simmpi/collectives.hpp"
@@ -87,9 +88,9 @@ int main() {
             << "16 Hydra nodes: busy half runs 8x Alltoall(16 procs, 256 KB);\n"
             << "idle half runs 1x Alltoall(8 procs, 2 MB/pair), simultaneously.\n\n";
   // Each config is an independent simulation: fan them out across the
-  // shared pool and print in input order.
+  // engine's pool and print in input order.
   std::vector<std::string> lines(configs.size());
-  mr::util::ThreadPool::shared().parallel_for(
+  mr::Engine::shared().thread_pool().parallel_for(
       configs.size(), [&](std::size_t c) {
         const auto& config = configs[c];
         std::vector<simmpi::PlanJob> jobs;

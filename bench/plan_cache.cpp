@@ -5,8 +5,8 @@
 // The compiled plan of a sweep point depends only on (algorithm, p, count,
 // repetitions) — never on the enumeration order — so all six orders (and
 // both scenarios) of each message size share one cached compile. This
-// bench runs the sweep once through PlanCache::shared() and once with the
-// cache bypassed (compile per point), verifies the CSV output is
+// bench runs the sweep once through the engine's plan cache and once with
+// the cache bypassed (compile per point), verifies the CSV output is
 // byte-identical, and writes BENCH_plan_cache.json with the hit rate and
 // the end-to-end speedup so both are tracked across PRs.
 #include <algorithm>
@@ -20,12 +20,12 @@
 
 namespace {
 
-std::string sweep_csv(const mr::topo::Machine& machine,
+std::string sweep_csv(mr::Engine& engine, const mr::topo::Machine& machine,
                       mr::harness::SweepConfig config) {
   config.all_comms = false;
-  const auto single = run_sweep(machine, config);
+  const auto single = run_sweep(engine, machine, config);
   config.all_comms = true;
-  const auto simultaneous = run_sweep(machine, config);
+  const auto simultaneous = run_sweep(engine, machine, config);
   std::ostringstream csv;
   mr::harness::write_figure_csv(csv, "plan_cache", single, simultaneous);
   return csv.str();
@@ -61,16 +61,17 @@ int main(int argc, char** argv) {
 
   // Pass 1 — determinism + hit rate on the full Fig-3 sweep (both
   // scenarios). Bypass first so its private compiles cannot warm the
-  // shared cache.
-  auto& cache = mr::simmpi::PlanCache::shared();
+  // engine's cache.
+  mr::Engine& engine = bench::select_engine(opts);
+  auto& cache = engine.plan_cache();
   config.use_plan_cache = false;
   const auto full_bypass_start = std::chrono::steady_clock::now();
-  const std::string bypass_csv = sweep_csv(machine, config);
+  const std::string bypass_csv = sweep_csv(engine, machine, config);
   const double full_bypass_seconds = seconds_since(full_bypass_start);
   cache.clear();  // measure this sweep's hit rate, not process history
   config.use_plan_cache = true;
   const auto full_cached_start = std::chrono::steady_clock::now();
-  const std::string cached_csv = sweep_csv(machine, config);
+  const std::string cached_csv = sweep_csv(engine, machine, config);
   const double full_cached_seconds = seconds_since(full_cached_start);
   const auto stats = cache.stats();
   const bool identical = cached_csv == bypass_csv;
@@ -88,13 +89,13 @@ int main(int argc, char** argv) {
   for (int pass = 0; pass < 5; ++pass) {
     config.use_plan_cache = false;
     const auto bypass_start = std::chrono::steady_clock::now();
-    (void)run_sweep(machine, config);
+    (void)run_sweep(engine, machine, config);
     const double bypass_pass = seconds_since(bypass_start);
 
     cache.clear();  // every cached pass re-measures cold-to-warm
     config.use_plan_cache = true;
     const auto cached_start = std::chrono::steady_clock::now();
-    (void)run_sweep(machine, config);
+    (void)run_sweep(engine, machine, config);
     const double cached_pass = seconds_since(cached_start);
 
     bypass_seconds =

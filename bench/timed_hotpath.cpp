@@ -27,12 +27,12 @@
 
 namespace {
 
-std::string sweep_csv(const mr::topo::Machine& machine,
+std::string sweep_csv(mr::Engine& engine, const mr::topo::Machine& machine,
                       mr::harness::SweepConfig config) {
   config.all_comms = false;
-  const auto single = run_sweep(machine, config);
+  const auto single = run_sweep(engine, machine, config);
   config.all_comms = true;
-  const auto simultaneous = run_sweep(machine, config);
+  const auto simultaneous = run_sweep(engine, machine, config);
   std::ostringstream csv;
   mr::harness::write_figure_csv(csv, "timed_hotpath", single, simultaneous);
   return csv.str();
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   auto opts = bench::Options::parse(argc, argv);
   if (opts.max_size == 512ll << 20) opts.max_size = 8ll << 20;  // bench default
   const auto machine = mr::topo::hydra(16);
+  mr::Engine& engine = bench::select_engine(opts);
 
   mr::harness::SweepConfig config;
   config.orders = {
@@ -75,11 +76,11 @@ int main(int argc, char** argv) {
     config.completion_slack = slack;
     config.threads = 1;
     config.reference_engine = true;
-    const std::string ref_serial = sweep_csv(machine, config);
+    const std::string ref_serial = sweep_csv(engine, machine, config);
     config.reference_engine = false;
-    const std::string opt_serial = sweep_csv(machine, config);
+    const std::string opt_serial = sweep_csv(engine, machine, config);
     config.threads = opts.threads;
-    const std::string opt_threaded = sweep_csv(machine, config);
+    const std::string opt_threaded = sweep_csv(engine, machine, config);
     const bool same =
         ref_serial == opt_serial && ref_serial == opt_threaded;
     identical = identical && same;
@@ -100,12 +101,12 @@ int main(int argc, char** argv) {
   for (int pass = 0; pass < 5; ++pass) {
     config.reference_engine = true;
     const auto ref_start = std::chrono::steady_clock::now();
-    (void)run_sweep(machine, config);
+    (void)run_sweep(engine, machine, config);
     const double ref_pass = seconds_since(ref_start);
 
     config.reference_engine = false;
     const auto opt_start = std::chrono::steady_clock::now();
-    (void)run_sweep(machine, config);
+    (void)run_sweep(engine, machine, config);
     const double opt_pass = seconds_since(opt_start);
 
     reference_seconds =
@@ -129,13 +130,13 @@ int main(int argc, char** argv) {
   mb.use_plan_cache = config.use_plan_cache;
   mr::simmpi::SimWorkspace workspace;
   mb.workspace = &workspace;
-  (void)mr::harness::run_microbench(machine, mb);  // cold: interns routes
+  (void)run_microbench(engine, machine, mb);  // cold: interns routes
   const mr::simmpi::TimedResult warm = [&] {
     // Re-run the heaviest point directly so the counters describe ONE
     // run_timed call (run_microbench aggregates away the TimedResult).
     mr::simmpi::ExecOptions exec;
     exec.workspace = &workspace;
-    const auto plan = mr::simmpi::PlanCache::shared().get(
+    const auto plan = engine.plan_cache().get(
         mr::simmpi::PlanKey{mr::simmpi::selected_algorithm(
                                 mb.collective,
                                 static_cast<std::int32_t>(mb.comm_size),

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << " (tune_scaling also accepts --quick)\n";
     return 2;
   }
+  mr::Engine& engine = bench::select_engine(opts);
 
   // ---- Part A: funnel top-1 == exhaustive argmin, presets x paper sizes --
   struct Preset {
@@ -114,12 +115,12 @@ int main(int argc, char** argv) {
       query.threads = opts.threads;
       query.repetitions = opts.repetitions;
       query.use_plan_cache = !opts.no_plan_cache;
-      const auto funnel = mr::tune::tune(preset.machine, query);
+      const auto funnel = mr::tune::tune(engine, preset.machine, query);
 
       mr::tune::TuneQuery brute = query;
       brute.dedup = false;
       brute.prune = false;
-      const auto exhaustive = mr::tune::tune(preset.machine, brute);
+      const auto exhaustive = mr::tune::tune(engine, preset.machine, brute);
 
       funnel_sims += funnel.stats.sim_points;
       exhaustive_sims += exhaustive.stats.sim_points;
@@ -153,14 +154,14 @@ int main(int argc, char** argv) {
   deep_query.use_plan_cache = !opts.no_plan_cache;
 
   const auto deep_start = std::chrono::steady_clock::now();
-  const auto funnel6 = mr::tune::tune(machine6, deep_query);
+  const auto funnel6 = mr::tune::tune(engine, machine6, deep_query);
   const double funnel6_seconds = seconds_since(deep_start);
 
   mr::tune::TuneQuery brute6 = deep_query;
   brute6.dedup = false;
   brute6.prune = false;
   const auto brute6_start = std::chrono::steady_clock::now();
-  const auto exhaustive6 = mr::tune::tune(machine6, brute6);
+  const auto exhaustive6 = mr::tune::tune(engine, machine6, brute6);
   const double brute6_seconds = seconds_since(brute6_start);
 
   // Exhaustive score of every order (all 720 were simulated).
@@ -224,7 +225,7 @@ int main(int argc, char** argv) {
     const auto machine7 = deep7();
     mr::tune::TuneQuery query7 = deep_query;
     const auto start7 = std::chrono::steady_clock::now();
-    const auto funnel7 = mr::tune::tune(machine7, query7);
+    const auto funnel7 = mr::tune::tune(engine, machine7, query7);
     sim_reduction7 = funnel7.stats.sim_points > 0
                          ? static_cast<double>(funnel7.stats.exhaustive_points) /
                                static_cast<double>(funnel7.stats.sim_points)
@@ -239,10 +240,10 @@ int main(int argc, char** argv) {
   mr::tune::TuneQuery det = deep_query;
   det.threads = 1;
   std::ostringstream serial_json;
-  mr::tune::write_json(serial_json, mr::tune::tune(machine6, det));
+  mr::tune::write_json(serial_json, mr::tune::tune(engine, machine6, det));
   det.threads = 4;
   std::ostringstream parallel_json;
-  mr::tune::write_json(parallel_json, mr::tune::tune(machine6, det));
+  mr::tune::write_json(parallel_json, mr::tune::tune(engine, machine6, det));
   const bool identical = serial_json.str() == parallel_json.str();
   std::cout << "tune_scaling C (determinism): report identical for "
                "--threads={1,4}: "

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
   // sweep runs: analyzer cost against one real Fig-3 sweep point — the §4.1
   // protocol's run_microbench (16-rank alltoall on Hydra, 8 MiB, the
   // default 2 back-to-back repetitions). Since the plan-cache refactor a
-  // point resolves its compiled plan through PlanCache::shared(): with the
+  // point resolves its compiled plan through the engine's plan cache: with the
   // cache bypassed the analyzer runs once per compile (its share of the
   // point is analyze / point wall time); with the cache on it runs once per
   // distinct (algorithm, p, count, root, reps) key for the *whole* sweep,

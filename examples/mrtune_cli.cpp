@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "mixradix/simmpi/plan_cache.hpp"
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/topo/presets.hpp"
 #include "mixradix/tune/report.hpp"
 #include "mixradix/tune/search.hpp"
@@ -45,7 +45,7 @@ int usage() {
       "  --budget-points N   stop after N point simulations (anytime)\n"
       "  --budget-seconds S  wall-clock cap (non-deterministic)\n"
       "  --shard i/n         search only candidate shard i of n\n"
-      "  --plan-cache-cap N  bound the shared plan cache (LRU, 0 = off)\n"
+      "  --plan-cache-cap N  bound this query's plan cache (LRU, 0 = off)\n"
       "  --json 1            canonical JSON report on stdout\n";
   return 2;
 }
@@ -125,10 +125,15 @@ int main(int argc, char** argv) {
     MR_EXPECT(slash != std::string::npos, "--shard must be i/n");
     query.shard_index = std::stoi(shard.substr(0, slash));
     query.shard_count = std::stoi(shard.substr(slash + 1));
-    const std::size_t cache_cap = std::stoull(flag("plan-cache-cap", "0"));
-    if (cache_cap > 0) simmpi::PlanCache::shared().set_capacity(cache_cap);
+    // The query runs in its own Engine so --plan-cache-cap bounds THIS
+    // query's cache; it used to set_capacity on the process-wide
+    // PlanCache singleton, leaking the LRU bound into every later query
+    // in the process.
+    EngineConfig config;
+    config.plan_cache_capacity = std::stoull(flag("plan-cache-cap", "0"));
+    Engine engine(config);
 
-    const tune::TuneReport report = tune::tune(machine, query);
+    const tune::TuneReport report = tune::tune(engine, machine, query);
     if (flag("json", "0") != "0") {
       tune::write_json(std::cout, report, /*candidates=*/false);
     } else {

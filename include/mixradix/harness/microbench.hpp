@@ -20,6 +20,10 @@
 #include "mixradix/simmpi/timed_executor.hpp"
 #include "mixradix/topo/machine.hpp"
 
+namespace mr {
+class Engine;  // mixradix/engine/engine.hpp
+}  // namespace mr
+
 namespace mr::harness {
 
 struct MicrobenchConfig {
@@ -30,18 +34,19 @@ struct MicrobenchConfig {
   std::int64_t total_bytes = 0;
   bool all_comms = false;  ///< false: first subcommunicator only.
   int repetitions = 2;     ///< back-to-back operations per communicator.
-  /// Resolve the compiled plan through PlanCache::shared() (one compile —
-  /// and, in verifying builds, one static analysis — per distinct
-  /// (algorithm, p, count, root, repetitions) key across the whole
-  /// process). false compiles privately per call; the results must be
-  /// byte-identical either way.
+  /// Resolve the compiled plan through the engine's plan cache (one
+  /// compile — and, in verifying builds, one static analysis — per
+  /// distinct (algorithm, p, count, root, repetitions) key across
+  /// everything the engine serves). false compiles privately per call;
+  /// the results must be byte-identical either way.
   bool use_plan_cache = true;
   /// Forwarded to simmpi::ExecOptions::completion_slack.
   double completion_slack = simmpi::kDefaultCompletionSlack;
   /// Run the pre-overhaul reference engine (bench baseline; bit-identical
   /// timing, see simmpi::ExecOptions::reference).
   bool reference_engine = false;
-  /// Reusable engine scratch (one per thread); nullptr = private per run.
+  /// Explicit engine scratch to reuse (one per thread); nullptr = lease a
+  /// workspace from the Engine's pool for the duration of the run.
   simmpi::SimWorkspace* workspace = nullptr;
 };
 
@@ -53,7 +58,12 @@ struct MicrobenchResult {
   std::string algorithm;           ///< which collective algorithm ran.
 };
 
-/// Run one protocol instance on `machine` (one process per core).
+/// Run one protocol instance on `machine` (one process per core), resolving
+/// plans and workspaces through `engine` and rolling the run's counters
+/// into Engine::Stats.
+MicrobenchResult run_microbench(Engine& engine, const topo::Machine& machine,
+                                const MicrobenchConfig& config);
+/// Backward-compat shim: run_microbench through Engine::shared().
 MicrobenchResult run_microbench(const topo::Machine& machine,
                                 const MicrobenchConfig& config);
 
@@ -63,6 +73,10 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
 /// workspace — are ignored). Shared with mr::tune, whose funnel needs the
 /// same jobs twice: once for the static lower bound and once for the
 /// simulation of the survivors.
+std::vector<simmpi::PlanJob> protocol_jobs(Engine& engine,
+                                           const topo::Machine& machine,
+                                           const MicrobenchConfig& config);
+/// Backward-compat shim: protocol_jobs through Engine::shared().
 std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
                                            const MicrobenchConfig& config);
 
@@ -105,6 +119,13 @@ struct SweepConfig {
   std::int64_t tune_budget_points = 0;
 };
 
+/// Run the sweep through `engine`: plans from its cache, point workspaces
+/// leased from its pool, points fanned over its thread pool. Output is
+/// byte-identical for every engine (shared or private) and thread count.
+std::vector<SweepSeries> run_sweep(Engine& engine,
+                                   const topo::Machine& machine,
+                                   const SweepConfig& config);
+/// Backward-compat shim: run_sweep through Engine::shared().
 std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
                                    const SweepConfig& config);
 

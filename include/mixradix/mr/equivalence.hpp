@@ -26,6 +26,8 @@
 
 namespace mr {
 
+class Engine;  // mixradix/engine/engine.hpp
+
 enum class Equivalence {
   ExactPlacement,
   SameSetsAndInternal,
@@ -54,23 +56,35 @@ struct ClassifyStats {
 
 /// Partition all h.depth()! orders into equivalence classes at the given
 /// granularity. Classes are sorted by their representative order.
-/// Signature computation is chunked across the shared thread pool;
+/// Signature computation fans out over the engine's thread pool;
 /// `threads`: 0 = util::ThreadPool::default_threads(), 1 = serial
-/// in-thread, N = at most N concurrent workers. The classification is
-/// identical for every thread count.
+/// in-thread (the pool is never touched), N = at most N concurrent
+/// workers. The classification is identical for every thread count and
+/// every engine, and the run's counters are rolled into Engine::Stats.
 ///
 /// `impl` selects the grouping machinery (byte-identical results either
 /// way): MetricsImpl::Fast groups by a 128-bit signature hash computed
-/// over the thread pool into reusable flat buffers, verifies each group
+/// into per-slot flat buffers scoped to the call, verifies each group
 /// against the real signatures, and characterizes representatives with the
 /// closed-form kernels; MetricsImpl::Reference is the original
 /// map-of-placement-vectors classifier kept as the differential baseline.
+std::vector<OrderClass> classify_orders(Engine& engine, const Hierarchy& h,
+                                        std::int64_t comm_size,
+                                        Equivalence granularity, int threads = 0,
+                                        MetricsImpl impl = MetricsImpl::Fast,
+                                        ClassifyStats* stats = nullptr);
+/// Backward-compat shim: classify_orders through Engine::shared().
 std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
                                         Equivalence granularity, int threads = 0,
                                         MetricsImpl impl = MetricsImpl::Fast,
                                         ClassifyStats* stats = nullptr);
 
 /// Representatives only — the reduced set of orders worth benchmarking.
+std::vector<Order> distinct_orders(Engine& engine, const Hierarchy& h,
+                                   std::int64_t comm_size,
+                                   Equivalence granularity, int threads = 0,
+                                   MetricsImpl impl = MetricsImpl::Fast);
+/// Backward-compat shim: distinct_orders through Engine::shared().
 std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
                                    Equivalence granularity, int threads = 0,
                                    MetricsImpl impl = MetricsImpl::Fast);

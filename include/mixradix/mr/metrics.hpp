@@ -27,6 +27,8 @@
 
 namespace mr {
 
+class Engine;  // mixradix/engine/engine.hpp
+
 /// Which metric kernels to run. Fast kernels exploit that a
 /// subcommunicator is a CONTIGUOUS block of new ranks in the permuted
 /// mixed-radix space, so both metrics are combinatorial functions of
@@ -115,9 +117,17 @@ OrderCharacter characterize_order(const Hierarchy& h, const Order& order,
                                   MetricsImpl impl = MetricsImpl::Fast);
 
 /// Characterize a batch of orders (e.g. all h! of them), chunked across
-/// the shared thread pool. Element i describes orders[i], independent of
+/// the engine's thread pool. Element i describes orders[i], independent of
 /// the thread count. `threads`: 0 = util::ThreadPool::default_threads(),
-/// 1 = serial in-thread, N = at most N concurrent workers.
+/// 1 = serial in-thread (the pool is never touched), N = at most N
+/// concurrent workers.
+std::vector<OrderCharacter> characterize_orders(Engine& engine,
+                                                const Hierarchy& h,
+                                                const std::vector<Order>& orders,
+                                                std::int64_t comm_size,
+                                                int threads = 0,
+                                                MetricsImpl impl = MetricsImpl::Fast);
+/// Backward-compat shim: characterize_orders through Engine::shared().
 std::vector<OrderCharacter> characterize_orders(const Hierarchy& h,
                                                 const std::vector<Order>& orders,
                                                 std::int64_t comm_size,

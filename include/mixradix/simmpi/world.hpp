@@ -16,6 +16,10 @@
 #include "mixradix/simmpi/timed_executor.hpp"
 #include "mixradix/topo/machine.hpp"
 
+namespace mr {
+class Engine;  // mixradix/engine/engine.hpp
+}  // namespace mr
+
 namespace mr::simmpi {
 
 class World;
@@ -45,28 +49,40 @@ class Communicator {
 
   /// Simulated duration of one collective on this communicator, alone on
   /// the machine. `count` follows the collective's convention (doubles).
+  /// Plans resolve through the World's engine (its cache, its stats).
   double time_collective(Collective kind, std::int64_t count,
                          std::int32_t root = 0) const;
 
   /// Simulated duration when every communicator in `comms` runs `kind`
-  /// simultaneously (returns the makespan).
+  /// simultaneously (returns the makespan). Routed through the engine of
+  /// the first communicator's World.
   static double time_concurrent(const std::vector<Communicator>& comms,
                                 Collective kind, std::int64_t count);
 
   const topo::Machine& machine() const noexcept { return *machine_; }
 
+  /// The engine of the World this communicator descends from.
+  Engine& engine() const noexcept { return *engine_; }
+
  private:
   friend class World;
-  Communicator(std::shared_ptr<const topo::Machine> machine,
+  Communicator(Engine* engine, std::shared_ptr<const topo::Machine> machine,
                std::vector<std::int64_t> cores);
 
+  Engine* engine_;  ///< non-owning; the World's engine outlives its comms.
   std::shared_ptr<const topo::Machine> machine_;
   std::vector<std::int64_t> cores_;  ///< rank -> core.
 };
 
-/// One process per core of a machine.
+/// One process per core of a machine. Every communicator split off the
+/// World inherits its engine, so a whole World's simulations stay inside
+/// one scoped context.
 class World {
  public:
+  /// A World whose collectives resolve plans through `engine`, which must
+  /// outlive the World and every Communicator split from it.
+  World(Engine& engine, topo::Machine machine);
+  /// Backward-compat shim: a World on Engine::shared().
   explicit World(topo::Machine machine);
 
   std::int32_t size() const;
@@ -80,7 +96,11 @@ class World {
   /// rank as key).
   Communicator reordered(const Order& order) const;
 
+  /// The engine this World's simulations run through.
+  Engine& engine() const noexcept { return *engine_; }
+
  private:
+  Engine* engine_;  ///< non-owning.
   std::shared_ptr<const topo::Machine> machine_;
 };
 

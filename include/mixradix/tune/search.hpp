@@ -28,11 +28,11 @@
 //    candidate after it are discarded without running FlowSim. The strict
 //    inequality keeps exact ties simulable, so the returned ranking equals
 //    the exhaustive one even under lexicographic tie-breaking.
-//  * stage 3 — full timed simulation of the survivors through the plan
-//    cache and per-thread SimWorkspaces, fanned over the shared ThreadPool
-//    in FIXED-SIZE waves with deterministic in-order merge: the set of
-//    simulated candidates and every byte of the report are identical for
-//    any --threads=N.
+//  * stage 3 — full timed simulation of the survivors through the engine's
+//    plan cache and per-slot workspaces leased from its pool, fanned over
+//    its thread pool in FIXED-SIZE waves with deterministic in-order merge:
+//    the set of simulated candidates and every byte of the report are
+//    identical for any --threads=N and any engine (shared or private).
 //
 // The search is *anytime*: a point/seconds budget (mixradix/tune/budget.hpp)
 // returns the best-so-far ranking with `exhausted: false`. The candidate
@@ -52,6 +52,10 @@
 #include "mixradix/simmpi/collectives.hpp"
 #include "mixradix/topo/machine.hpp"
 #include "mixradix/tune/budget.hpp"
+
+namespace mr {
+class Engine;  // mixradix/engine/engine.hpp
+}  // namespace mr
 
 namespace mr::tune {
 
@@ -95,7 +99,7 @@ struct TuneQuery {
   std::int64_t screen_keep = 0;
   bool dedup = true;   ///< stage 1; off = every order its own candidate.
   bool prune = true;   ///< stage 2; off = simulate every candidate.
-  bool use_plan_cache = true;  ///< resolve plans through PlanCache::shared().
+  bool use_plan_cache = true;  ///< resolve plans through the engine's cache.
   /// Shard `shard_index` of `shard_count` over the candidate stream: after
   /// dedup, candidate i (in representative-lexicographic order) belongs to
   /// shard i % shard_count. Shards partition the candidates exactly.
@@ -172,8 +176,14 @@ struct TuneReport {
   TuneStats stats;
 };
 
-/// Run the funnel. Throws mr::invalid_argument on malformed queries (empty
-/// point lists, comm sizes not dividing the core count, bad shard spec).
+/// Run the funnel through `engine`: plans from its cache, survivor
+/// simulations on workspaces leased from its pool, stages fanned over its
+/// thread pool, and the funnel's totals rolled into Engine::Stats. Throws
+/// mr::invalid_argument on malformed queries (empty point lists, comm sizes
+/// not dividing the core count, bad shard spec).
+TuneReport tune(Engine& engine, const topo::Machine& machine,
+                const TuneQuery& query);
+/// Backward-compat shim: tune through Engine::shared().
 TuneReport tune(const topo::Machine& machine, const TuneQuery& query);
 
 /// Collective <-> name, for CLIs and reports: "alltoall", "allgather",

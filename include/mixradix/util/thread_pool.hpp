@@ -55,6 +55,17 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                     unsigned max_workers = 0);
 
+  /// parallel_for variant whose body also receives a stable slot id in
+  /// [0, effective workers): every participating thread drives its indices
+  /// under one slot (the caller is always slot 0), so a caller can hand
+  /// each slot a private scratch buffer without locks or thread_locals —
+  /// scratch lifetime follows the call, not the pool threads. Slot
+  /// assignment only selects scratch; which indices run, and the
+  /// serial-fallback contract, match parallel_for exactly.
+  void parallel_for_slots(
+      std::size_t n, const std::function<void(unsigned, std::size_t)>& body,
+      unsigned max_workers = 0);
+
   /// The process-wide pool, lazily created with default_threads() workers.
   static ThreadPool& shared();
 

@@ -1,0 +1,104 @@
+#include "mixradix/engine/engine.hpp"
+
+#include <utility>
+
+#include "mixradix/mr/equivalence.hpp"
+
+namespace mr {
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config),
+      owned_cache_(
+          std::make_unique<simmpi::PlanCache>(config.plan_cache_capacity)),
+      cache_(owned_cache_.get()) {
+  if (config.dedicated_threads > 0) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(config.dedicated_threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+Engine::Engine(SharedTag) : cache_(&simmpi::PlanCache::shared()) {
+  // pool_ stays null: thread_pool() resolves to ThreadPool::shared()
+  // lazily, so serial callers routed through the shared engine still
+  // never spawn worker threads.
+}
+
+Engine::~Engine() = default;
+
+Engine::WorkspaceLease Engine::workspace() {
+  std::unique_ptr<simmpi::SimWorkspace> ws;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.workspace_checkouts;
+    if (!idle_.empty()) {
+      ws = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      ++counters_.workspaces_created;
+    }
+  }
+  if (!ws) ws = std::make_unique<simmpi::SimWorkspace>();
+  return WorkspaceLease(this, std::move(ws));
+}
+
+void Engine::return_workspace(std::unique_ptr<simmpi::SimWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(ws));
+}
+
+void Engine::WorkspaceLease::release() {
+  if (engine_ != nullptr && workspace_ != nullptr) {
+    engine_->return_workspace(std::move(workspace_));
+  }
+  engine_ = nullptr;
+}
+
+Engine::Stats Engine::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = counters_;
+    out.workspaces_idle = static_cast<std::int64_t>(idle_.size());
+  }
+  out.plan_cache = cache_->stats();
+  return out;
+}
+
+void Engine::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = Stats{};
+}
+
+void Engine::record_run(const simmpi::TimedResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.sim_runs;
+  counters_.events_processed += result.engine_stats.events_processed;
+  counters_.flow_completions += result.total_flow_events;
+  counters_.route_cache_hits += result.engine_stats.route_cache_hits;
+  counters_.route_cache_misses += result.engine_stats.route_cache_misses;
+}
+
+void Engine::record_classify(const ClassifyStats& classify) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.classify_runs;
+  counters_.orders_classified += classify.orders;
+  counters_.classes_found += classify.classes;
+  counters_.signatures_hashed += classify.signatures_hashed;
+  counters_.collision_checks += classify.collision_checks;
+  counters_.hash_collisions += classify.hash_collisions;
+}
+
+void Engine::record_tune(std::int64_t candidates_simulated,
+                         std::int64_t sim_points) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.tune_runs;
+  counters_.tune_candidates_simulated += candidates_simulated;
+  counters_.tune_sim_points += sim_points;
+}
+
+Engine& Engine::shared() {
+  static Engine engine{SharedTag{}};
+  return engine;
+}
+
+}  // namespace mr

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/simmpi/plan_cache.hpp"
@@ -20,7 +21,8 @@ std::int64_t count_for(std::int64_t total_bytes, std::int64_t comm_size) {
 
 }  // namespace
 
-std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
+std::vector<simmpi::PlanJob> protocol_jobs(Engine& engine,
+                                           const topo::Machine& machine,
                                            const MicrobenchConfig& config) {
   const Hierarchy& h = machine.hierarchy();
   MR_EXPECT(config.comm_size >= 2, "communicator needs at least two ranks");
@@ -40,7 +42,7 @@ std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
       p, count, /*root=*/0, config.repetitions};
   const std::shared_ptr<const simmpi::Plan> plan =
       config.use_plan_cache
-          ? simmpi::PlanCache::shared().get(key)
+          ? engine.plan_cache().get(key)
           : std::make_shared<const simmpi::Plan>(simmpi::compile_plan(
                 key.algorithm, key.nranks, key.count, key.root,
                 key.repetitions));
@@ -67,15 +69,25 @@ std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
   return jobs;
 }
 
-MicrobenchResult run_microbench(const topo::Machine& machine,
+MicrobenchResult run_microbench(Engine& engine, const topo::Machine& machine,
                                 const MicrobenchConfig& config) {
-  const std::vector<simmpi::PlanJob> jobs = protocol_jobs(machine, config);
+  const std::vector<simmpi::PlanJob> jobs =
+      protocol_jobs(engine, machine, config);
 
   simmpi::ExecOptions exec;
   exec.completion_slack = config.completion_slack;
   exec.reference = config.reference_engine;
   exec.workspace = config.workspace;
+  // No explicit workspace: lease one from the engine's pool for this run
+  // (reused across runs, reclaimed with the engine). The reference engine
+  // allocates fresh by contract and ignores workspaces.
+  Engine::WorkspaceLease lease;
+  if (config.workspace == nullptr && !config.reference_engine) {
+    lease = engine.workspace();
+    exec.workspace = lease.get();
+  }
   const simmpi::TimedResult timed = simmpi::run_timed(machine, jobs, exec);
+  engine.record_run(timed);
 
   std::vector<double> bandwidths;
   bandwidths.reserve(jobs.size());
@@ -103,6 +115,18 @@ MicrobenchResult run_microbench(const topo::Machine& machine,
   result.bw_p90 = decile(0.9);
   result.algorithm = jobs.front().plan->algorithm;
   return result;
+}
+
+// Backward-compat shims: the original singleton-era signatures, routed
+// through the process-wide engine (same cache, same pool, same output).
+std::vector<simmpi::PlanJob> protocol_jobs(const topo::Machine& machine,
+                                           const MicrobenchConfig& config) {
+  return protocol_jobs(Engine::shared(), machine, config);
+}
+
+MicrobenchResult run_microbench(const topo::Machine& machine,
+                                const MicrobenchConfig& config) {
+  return run_microbench(Engine::shared(), machine, config);
 }
 
 }  // namespace mr::harness

@@ -1,3 +1,4 @@
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/tune/search.hpp"
 #include "mixradix/util/expect.hpp"
@@ -13,7 +14,7 @@ namespace {
 /// sizes, concurrency, repetitions, slack), so the tuner's objective — the
 /// sum of point makespans — ranks orders by the very curves the sweep will
 /// draw.
-std::vector<Order> tuned_orders(const topo::Machine& machine,
+std::vector<Order> tuned_orders(Engine& engine, const topo::Machine& machine,
                                 const SweepConfig& config) {
   tune::TuneQuery query;
   query.collectives = {config.collective};
@@ -27,7 +28,7 @@ std::vector<Order> tuned_orders(const topo::Machine& machine,
   query.threads = config.threads;
   query.use_plan_cache = config.use_plan_cache;
   query.budget.max_points = config.tune_budget_points;
-  const tune::TuneReport report = tune::tune(machine, query);
+  const tune::TuneReport report = tune::tune(engine, machine, query);
   std::vector<Order> orders;
   orders.reserve(report.top.size());
   for (const std::size_t idx : report.top) {
@@ -49,18 +50,21 @@ std::vector<std::int64_t> paper_sizes(std::int64_t max_bytes) {
 
 // Every (order, size) point is an independent simulation: run_microbench
 // builds its own schedules, TimedExecutor and FlowSim, and only reads the
-// (immutable) machine. Points fan out across the shared pool and land in
+// (immutable) machine. Points fan out across the engine's pool and land in
 // pre-sized slots indexed by (order, size), so the merged output is
 // bit-identical to the serial path regardless of the thread count or the
 // completion order of the tasks.
-std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
+std::vector<SweepSeries> run_sweep(Engine& engine,
+                                   const topo::Machine& machine,
                                    const SweepConfig& input) {
   MR_EXPECT(input.tune_top_k > 0 || !input.orders.empty(),
             "sweep needs orders (or tune_top_k to find them)");
   MR_EXPECT(!input.sizes.empty(), "sweep needs sizes");
   MR_EXPECT(input.threads >= 0, "threads must be non-negative");
   SweepConfig config = input;
-  if (config.tune_top_k > 0) config.orders = tuned_orders(machine, input);
+  if (config.tune_top_k > 0) {
+    config.orders = tuned_orders(engine, machine, input);
+  }
   const std::size_t norders = config.orders.size();
   const std::size_t nsizes = config.sizes.size();
 
@@ -82,14 +86,15 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
           characterize_order(machine.hierarchy(), config.orders[oi],
                              config.comm_size, MetricsImpl::Fast);
     }
-    // One engine workspace per pool thread (thread_local, so the serial
-    // path gets one too): every point this thread simulates reuses the
-    // flow-simulator arrays, event heap and interned routes, which is
-    // what keeps a 5040-order enumeration from paying allocation churn
-    // per point. Results are independent of reuse by construction
-    // (bit-identity is enforced by the determinism tests and
-    // bench/timed_hotpath).
-    static thread_local simmpi::SimWorkspace workspace;
+    // run_microbench leases a workspace from the engine's pool: every
+    // point a worker simulates reuses flow-simulator arrays, the event
+    // heap and interned routes (the pool hands the most recently returned
+    // workspace back first), which is what keeps a 5040-order enumeration
+    // from paying allocation churn per point — and, unlike the old
+    // function-scoped thread_local, the memory is reclaimed when the
+    // engine dies and never shared across engines. Results are
+    // independent of reuse by construction (bit-identity is enforced by
+    // the determinism tests and bench/timed_hotpath).
     MicrobenchConfig mb;
     mb.order = config.orders[oi];
     mb.comm_size = config.comm_size;
@@ -100,8 +105,7 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
     mb.use_plan_cache = config.use_plan_cache;
     mb.completion_slack = config.completion_slack;
     mb.reference_engine = config.reference_engine;
-    mb.workspace = config.reference_engine ? nullptr : &workspace;
-    out[oi].results[si] = run_microbench(machine, mb);
+    out[oi].results[si] = run_microbench(engine, machine, mb);
   };
 
   const unsigned threads = config.threads > 0
@@ -112,9 +116,14 @@ std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
     // Serial path: never touches the pool (no worker threads spawned).
     for (std::size_t task = 0; task < npoints; ++task) point(task);
   } else {
-    util::ThreadPool::shared().parallel_for(npoints, point, threads);
+    engine.thread_pool().parallel_for(npoints, point, threads);
   }
   return out;
+}
+
+std::vector<SweepSeries> run_sweep(const topo::Machine& machine,
+                                   const SweepConfig& config) {
+  return run_sweep(Engine::shared(), machine, config);
 }
 
 }  // namespace mr::harness

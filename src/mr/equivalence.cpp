@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/util/expect.hpp"
 #include "mixradix/util/thread_pool.hpp"
@@ -47,9 +48,33 @@ unsigned resolve_workers(int threads) {
                      : util::ThreadPool::default_threads();
 }
 
+/// Indexed fan-out over the engine's pool with the serial fallback every
+/// classification pass uses; serial runs never touch the pool.
+template <typename Fn>
+void fan_out(Engine& engine, std::size_t n, unsigned workers, const Fn& fn) {
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    engine.thread_pool().parallel_for(n, fn, workers);
+  }
+}
+
+/// Slot-aware fan-out: the body receives a stable per-thread slot id in
+/// [0, workers) for indexing call-scoped scratch (the caller is slot 0 on
+/// the serial path).
+template <typename Fn>
+void fan_out_slots(Engine& engine, std::size_t n, unsigned workers,
+                   const Fn& fn) {
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0u, i);
+  } else {
+    engine.thread_pool().parallel_for_slots(n, fn, workers);
+  }
+}
+
 // ---- Map-based reference classifier (the pre-hashing baseline) -------------
 
-std::vector<OrderClass> classify_reference(const Hierarchy& h,
+std::vector<OrderClass> classify_reference(Engine& engine, const Hierarchy& h,
                                            std::int64_t comm_size,
                                            Equivalence granularity,
                                            unsigned workers,
@@ -59,14 +84,9 @@ std::vector<OrderClass> classify_reference(const Hierarchy& h,
   // lists and representatives are independent of the thread count.
   const std::vector<Order> orders = all_orders_lexicographic(h.depth());
   std::vector<Signature> signatures(orders.size());
-  const auto sign = [&](std::size_t i) {
+  fan_out(engine, orders.size(), workers, [&](std::size_t i) {
     signatures[i] = signature_of(h, orders[i], comm_size, granularity);
-  };
-  if (workers <= 1 || orders.size() <= 1) {
-    for (std::size_t i = 0; i < orders.size(); ++i) sign(i);
-  } else {
-    util::ThreadPool::shared().parallel_for(orders.size(), sign, workers);
-  }
+  });
 
   std::map<Signature, std::vector<Order>> buckets;
   for (std::size_t i = 0; i < orders.size(); ++i) {
@@ -83,16 +103,10 @@ std::vector<OrderClass> classify_reference(const Hierarchy& h,
   // Phase 3 (parallel): metrics of each representative, with the
   // brute-force kernels — this path is the differential baseline and keeps
   // the original cost profile.
-  const auto characterize = [&](std::size_t c) {
+  fan_out(engine, classes.size(), workers, [&](std::size_t c) {
     classes[c].representative = characterize_order(
         h, classes[c].members.front(), comm_size, MetricsImpl::Reference);
-  };
-  if (workers <= 1 || classes.size() <= 1) {
-    for (std::size_t c = 0; c < classes.size(); ++c) characterize(c);
-  } else {
-    util::ThreadPool::shared().parallel_for(classes.size(), characterize,
-                                            workers);
-  }
+  });
   std::sort(classes.begin(), classes.end(),
             [](const OrderClass& a, const OrderClass& b) {
               return a.members.front() < b.members.front();
@@ -138,10 +152,13 @@ struct Hash128Key {
   }
 };
 
-/// Reusable per-thread workspace: every buffer is resized once per
-/// classification geometry and then reused across the orders this thread
-/// processes — the per-order allocation churn of the map-based path
-/// (placement vector + nested signature vectors per order) is gone.
+/// Reusable per-slot workspace: every buffer is resized once per
+/// classification geometry and then reused across the orders this slot's
+/// thread processes — the per-order allocation churn of the map-based path
+/// (placement vector + nested signature vectors per order) is gone. One
+/// Scratch per fan_out_slots slot, owned by the classification call itself
+/// (the old `static thread_local` pinned this memory to pool threads for
+/// the life of the process and leaked state across engines).
 struct Scratch {
   std::vector<int> digits;               ///< odometer digits, per position.
   std::vector<int> pos_radix;            ///< radix of each permuted position.
@@ -150,11 +167,6 @@ struct Scratch {
   std::vector<std::int64_t> sig;         ///< canonical flattened signature.
   std::vector<std::int32_t> comm_order;  ///< comm block sort permutation.
 };
-
-Scratch& thread_scratch() {
-  static thread_local Scratch scratch;
-  return scratch;
-}
 
 /// Prime the odometer for `order`: position i (fastest-varying) holds the
 /// digit of level order[i], whose contribution to the old core id is
@@ -282,7 +294,7 @@ struct GroupResult {
   std::int64_t hash_collisions = 0;
 };
 
-std::vector<OrderClass> classify_hashed(const Hierarchy& h,
+std::vector<OrderClass> classify_hashed(Engine& engine, const Hierarchy& h,
                                         std::int64_t comm_size,
                                         Equivalence granularity,
                                         unsigned workers,
@@ -290,17 +302,17 @@ std::vector<OrderClass> classify_hashed(const Hierarchy& h,
   const std::vector<Order> orders = all_orders_lexicographic(h.depth());
   const std::size_t norders = orders.size();
 
+  // Call-scoped scratch, one per fan_out_slots slot: freed when the
+  // classification returns, never pinned to pool threads or shared across
+  // engines.
+  std::vector<Scratch> scratch(workers);
+
   // Pass 1 (parallel): one 128-bit hash per order.
   std::vector<Hash128> hashes(norders);
-  const auto hash_one = [&](std::size_t i) {
+  fan_out_slots(engine, norders, workers, [&](unsigned slot, std::size_t i) {
     hashes[i] = signature_hash(h, orders[i], comm_size, granularity,
-                               thread_scratch());
-  };
-  if (workers <= 1 || norders <= 1) {
-    for (std::size_t i = 0; i < norders; ++i) hash_one(i);
-  } else {
-    util::ThreadPool::shared().parallel_for(norders, hash_one, workers);
-  }
+                               scratch[slot]);
+  });
 
   // Group (serial, lexicographic visit order): members of each group stay
   // sorted, and the first member is the candidate representative.
@@ -318,10 +330,10 @@ std::vector<OrderClass> classify_hashed(const Hierarchy& h,
   // signatures — splitting it if the hash ever merged distinct signatures
   // — and characterize representatives via the closed-form kernels.
   std::vector<GroupResult> results(groups.size());
-  const auto verify_group = [&](std::size_t g) {
+  const auto verify_group = [&](unsigned slot, std::size_t g) {
     const auto& members = groups[g];
     GroupResult& result = results[g];
-    Scratch& s = thread_scratch();
+    Scratch& s = scratch[slot];
     // Sub-buckets by real signature, in first-occurrence (= lexicographic)
     // order. A clean group has exactly one.
     std::vector<std::vector<std::int64_t>> bucket_sigs;
@@ -358,12 +370,7 @@ std::vector<OrderClass> classify_hashed(const Hierarchy& h,
       result.classes.push_back(std::move(cls));
     }
   };
-  if (workers <= 1 || groups.size() <= 1) {
-    for (std::size_t g = 0; g < groups.size(); ++g) verify_group(g);
-  } else {
-    util::ThreadPool::shared().parallel_for(groups.size(), verify_group,
-                                            workers);
-  }
+  fan_out_slots(engine, groups.size(), workers, verify_group);
 
   std::vector<OrderClass> classes;
   classes.reserve(groups.size());
@@ -390,16 +397,29 @@ std::vector<OrderClass> classify_hashed(const Hierarchy& h,
 
 }  // namespace
 
-std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
+std::vector<OrderClass> classify_orders(Engine& engine, const Hierarchy& h,
+                                        std::int64_t comm_size,
                                         Equivalence granularity, int threads,
                                         MetricsImpl impl, ClassifyStats* stats) {
   MR_EXPECT(comm_size >= 1 && h.total() % comm_size == 0,
             "communicator size must divide the number of processes");
   const unsigned workers = resolve_workers(threads);
-  if (stats != nullptr) *stats = ClassifyStats{};
-  return impl == MetricsImpl::Fast
-             ? classify_hashed(h, comm_size, granularity, workers, stats)
-             : classify_reference(h, comm_size, granularity, workers, stats);
+  ClassifyStats local;
+  std::vector<OrderClass> classes =
+      impl == MetricsImpl::Fast
+          ? classify_hashed(engine, h, comm_size, granularity, workers, &local)
+          : classify_reference(engine, h, comm_size, granularity, workers,
+                               &local);
+  engine.record_classify(local);
+  if (stats != nullptr) *stats = local;
+  return classes;
+}
+
+std::vector<OrderClass> classify_orders(const Hierarchy& h, std::int64_t comm_size,
+                                        Equivalence granularity, int threads,
+                                        MetricsImpl impl, ClassifyStats* stats) {
+  return classify_orders(Engine::shared(), h, comm_size, granularity, threads,
+                         impl, stats);
 }
 
 std::vector<OrderClass> coarsen_classes(const Hierarchy& h,
@@ -436,15 +456,23 @@ std::vector<OrderClass> coarsen_classes(const Hierarchy& h,
   return classes;
 }
 
-std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
+std::vector<Order> distinct_orders(Engine& engine, const Hierarchy& h,
+                                   std::int64_t comm_size,
                                    Equivalence granularity, int threads,
                                    MetricsImpl impl) {
   std::vector<Order> out;
   for (const auto& cls :
-       classify_orders(h, comm_size, granularity, threads, impl)) {
+       classify_orders(engine, h, comm_size, granularity, threads, impl)) {
     out.push_back(cls.members.front());
   }
   return out;
+}
+
+std::vector<Order> distinct_orders(const Hierarchy& h, std::int64_t comm_size,
+                                   Equivalence granularity, int threads,
+                                   MetricsImpl impl) {
+  return distinct_orders(Engine::shared(), h, comm_size, granularity, threads,
+                         impl);
 }
 
 }  // namespace mr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/util/expect.hpp"
 #include "mixradix/util/strings.hpp"
 #include "mixradix/util/thread_pool.hpp"
@@ -225,7 +226,8 @@ OrderCharacter characterize_order(const Hierarchy& h, const Order& order,
   return out;
 }
 
-std::vector<OrderCharacter> characterize_orders(const Hierarchy& h,
+std::vector<OrderCharacter> characterize_orders(Engine& engine,
+                                                const Hierarchy& h,
                                                 const std::vector<Order>& orders,
                                                 std::int64_t comm_size,
                                                 int threads, MetricsImpl impl) {
@@ -239,9 +241,17 @@ std::vector<OrderCharacter> characterize_orders(const Hierarchy& h,
   if (workers <= 1 || orders.size() <= 1) {
     for (std::size_t i = 0; i < orders.size(); ++i) one(i);
   } else {
-    util::ThreadPool::shared().parallel_for(orders.size(), one, workers);
+    engine.thread_pool().parallel_for(orders.size(), one, workers);
   }
   return out;
+}
+
+std::vector<OrderCharacter> characterize_orders(const Hierarchy& h,
+                                                const std::vector<Order>& orders,
+                                                std::int64_t comm_size,
+                                                int threads, MetricsImpl impl) {
+  return characterize_orders(Engine::shared(), h, orders, comm_size, threads,
+                             impl);
 }
 
 double spreadness(const Hierarchy& h, const std::vector<Coords>& members) {

@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <map>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/simmpi/plan_cache.hpp"
 #include "mixradix/util/expect.hpp"
 
 namespace mr::simmpi {
 
-Communicator::Communicator(std::shared_ptr<const topo::Machine> machine,
+Communicator::Communicator(Engine* engine,
+                           std::shared_ptr<const topo::Machine> machine,
                            std::vector<std::int64_t> cores)
-    : machine_(std::move(machine)), cores_(std::move(cores)) {
+    : engine_(engine), machine_(std::move(machine)), cores_(std::move(cores)) {
   MR_EXPECT(!cores_.empty(), "communicator must not be empty");
   for (std::int64_t core : cores_) {
     MR_EXPECT(core >= 0 && core < machine_->cores(), "core out of range");
@@ -45,7 +47,7 @@ std::vector<Communicator> Communicator::split(
     for (const auto& [key, rank] : members) {
       cores.push_back(cores_[static_cast<std::size_t>(rank)]);
     }
-    out.push_back(Communicator(machine_, std::move(cores)));
+    out.push_back(Communicator(engine_, machine_, std::move(cores)));
   }
   return out;
 }
@@ -76,7 +78,7 @@ std::vector<Communicator> Communicator::split_by_level(int level) const {
 
 double Communicator::time_collective(Collective kind, std::int64_t count,
                                      std::int32_t root) const {
-  const auto plan = PlanCache::shared().get(
+  const auto plan = engine_->plan_cache().get(
       PlanKey{selected_algorithm(kind, size(), count,
                                  machine_->costs().eager_threshold),
               size(), count, root, 1});
@@ -87,22 +89,29 @@ double Communicator::time_concurrent(const std::vector<Communicator>& comms,
                                      Collective kind, std::int64_t count) {
   MR_EXPECT(!comms.empty(), "need at least one communicator");
   const topo::Machine& machine = comms.front().machine();
+  Engine& engine = comms.front().engine();
   std::vector<PlanJob> jobs;
   jobs.reserve(comms.size());
   for (const auto& comm : comms) {
     MR_EXPECT(&comm.machine() == &machine,
               "all communicators must live on the same machine");
-    auto plan = PlanCache::shared().get(
+    auto plan = engine.plan_cache().get(
         PlanKey{selected_algorithm(kind, comm.size(), count,
                                    machine.costs().eager_threshold),
                 comm.size(), count, 0, 1});
     jobs.push_back(PlanJob{std::move(plan), comm.cores(), 0.0});
   }
-  return run_timed(machine, jobs).makespan;
+  const TimedResult timed = run_timed(machine, jobs);
+  engine.record_run(timed);
+  return timed.makespan;
 }
 
+World::World(Engine& engine, topo::Machine machine)
+    : engine_(&engine),
+      machine_(std::make_shared<const topo::Machine>(std::move(machine))) {}
+
 World::World(topo::Machine machine)
-    : machine_(std::make_shared<const topo::Machine>(std::move(machine))) {}
+    : World(Engine::shared(), std::move(machine)) {}
 
 std::int32_t World::size() const {
   return static_cast<std::int32_t>(machine_->cores());
@@ -113,12 +122,12 @@ Communicator World::comm_world() const {
   for (std::int64_t c = 0; c < machine_->cores(); ++c) {
     cores[static_cast<std::size_t>(c)] = c;
   }
-  return Communicator(machine_, std::move(cores));
+  return Communicator(engine_, machine_, std::move(cores));
 }
 
 Communicator World::reordered(const Order& order) const {
   const auto placement = placement_of_new_ranks(machine_->hierarchy(), order);
-  return Communicator(machine_, placement);
+  return Communicator(engine_, machine_, placement);
 }
 
 }  // namespace mr::simmpi

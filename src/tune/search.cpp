@@ -7,6 +7,7 @@
 #include <numeric>
 #include <utility>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/mr/decompose.hpp"
 #include "mixradix/simmpi/timed_executor.hpp"
@@ -43,15 +44,15 @@ unsigned resolve_workers(int threads) {
                      : util::ThreadPool::default_threads();
 }
 
-/// Indexed parallel_for with the serial fallback every engine entry point
-/// uses: results land in pre-sized slots, so output never depends on the
-/// worker count.
+/// Indexed parallel_for with the serial fallback every entry point uses:
+/// results land in pre-sized slots, so output never depends on the worker
+/// count. Serial queries never touch the pool.
 template <typename Fn>
-void fan_out(std::size_t n, unsigned workers, const Fn& fn) {
+void fan_out(Engine& engine, std::size_t n, unsigned workers, const Fn& fn) {
   if (workers <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
   } else {
-    util::ThreadPool::shared().parallel_for(n, fn, workers);
+    engine.thread_pool().parallel_for(n, fn, workers);
   }
 }
 
@@ -111,7 +112,7 @@ std::vector<std::int32_t> class_labels(const std::vector<OrderClass>& classes,
   return labels;
 }
 
-std::vector<TuneCandidate> dedup_candidates(const Hierarchy& h,
+std::vector<TuneCandidate> dedup_candidates(Engine& engine, const Hierarchy& h,
                                             const TuneQuery& query,
                                             TuneStats& stats) {
   const std::vector<Order> orders = all_orders_lexicographic(h.depth());
@@ -127,7 +128,8 @@ std::vector<TuneCandidate> dedup_candidates(const Hierarchy& h,
   } else if (query.concurrency == Concurrency::SingleComm) {
     // Group by the concatenated first-subcommunicator core sequences.
     std::vector<std::vector<std::int64_t>> first_comm(orders.size());
-    fan_out(orders.size(), resolve_workers(query.threads), [&](std::size_t i) {
+    fan_out(engine, orders.size(), resolve_workers(query.threads),
+            [&](std::size_t i) {
       const auto placement = placement_of_new_ranks(h, orders[i]);
       std::vector<std::int64_t> key;
       for (const std::int64_t s : sizes) {
@@ -147,7 +149,7 @@ std::vector<TuneCandidate> dedup_candidates(const Hierarchy& h,
   } else if (query.completion_slack > 0) {
     ClassifyStats cs;
     const auto classes =
-        classify_orders(h, sizes.front(), Equivalence::ExactPlacement,
+        classify_orders(engine, h, sizes.front(), Equivalence::ExactPlacement,
                         query.threads, MetricsImpl::Fast, &cs);
     stats.classify = cs;
     labels.push_back(class_labels(classes, norders));
@@ -155,7 +157,7 @@ std::vector<TuneCandidate> dedup_candidates(const Hierarchy& h,
     for (const std::int64_t s : sizes) {
       ClassifyStats cs;
       const auto classes =
-          classify_orders(h, s, Equivalence::SameSetsAndInternal,
+          classify_orders(engine, h, s, Equivalence::SameSetsAndInternal,
                           query.threads, MetricsImpl::Fast, &cs);
       stats.classify.orders += cs.orders;
       stats.classify.classes += cs.classes;
@@ -192,7 +194,8 @@ std::vector<TuneCandidate> dedup_candidates(const Hierarchy& h,
 /// Stage-2 admissible bound of one candidate: per-point static lower bounds
 /// (deflated for the simulated slack), summed — a lower bound on the
 /// candidate's score because the score is the sum of point makespans.
-double candidate_bound(const topo::Machine& machine, const TuneQuery& query,
+double candidate_bound(Engine& engine, const topo::Machine& machine,
+                       const TuneQuery& query,
                        const std::vector<QueryPoint>& points,
                        const Order& order) {
   verify::binding::Options options;
@@ -200,8 +203,8 @@ double candidate_bound(const topo::Machine& machine, const TuneQuery& query,
   options.lower_bound = true;
   double bound = 0;
   for (const QueryPoint& point : points) {
-    const auto jobs =
-        harness::protocol_jobs(machine, point_config(query, point, order));
+    const auto jobs = harness::protocol_jobs(
+        engine, machine, point_config(query, point, order));
     std::vector<verify::binding::JobBinding> bindings;
     bindings.reserve(jobs.size());
     for (const auto& job : jobs) {
@@ -220,23 +223,28 @@ double candidate_bound(const topo::Machine& machine, const TuneQuery& query,
   return bound;
 }
 
-/// Stage-3 full-fidelity evaluation of one candidate.
-void simulate_candidate(const topo::Machine& machine, const TuneQuery& query,
+/// Stage-3 full-fidelity evaluation of one candidate. The workspace is
+/// leased from the engine's pool for the candidate's whole point loop
+/// (LIFO reuse keeps interned routes warm across candidates on the same
+/// driving thread) — reuse has no effect on results (enforced by the
+/// determinism tests), and unlike the old function-scoped thread_local the
+/// memory dies with the engine instead of the pool threads.
+void simulate_candidate(Engine& engine, const topo::Machine& machine,
+                        const TuneQuery& query,
                         const std::vector<QueryPoint>& points,
                         TuneCandidate& candidate) {
-  // One engine workspace per pool thread, exactly like the sweep engine —
-  // reuse has no effect on results (enforced by the determinism tests).
-  static thread_local simmpi::SimWorkspace workspace;
+  Engine::WorkspaceLease lease = engine.workspace();
   candidate.points.clear();
   candidate.points.reserve(points.size());
   candidate.score = 0;
   for (const QueryPoint& point : points) {
     const auto jobs = harness::protocol_jobs(
-        machine, point_config(query, point, candidate.order));
+        engine, machine, point_config(query, point, candidate.order));
     simmpi::ExecOptions exec;
     exec.completion_slack = query.completion_slack;
-    exec.workspace = &workspace;
+    exec.workspace = lease.get();
     const simmpi::TimedResult timed = simmpi::run_timed(machine, jobs, exec);
+    engine.record_run(timed);
     PointResult pr;
     pr.makespan = timed.makespan;
     double bw = 0;
@@ -309,7 +317,8 @@ std::string_view collective_name(simmpi::Collective collective) {
   return "?";
 }
 
-TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
+TuneReport tune(Engine& engine, const topo::Machine& machine,
+                const TuneQuery& query) {
   validate(machine, query);
   const Hierarchy& h = machine.hierarchy();
   const unsigned workers = resolve_workers(query.threads);
@@ -335,7 +344,8 @@ TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
   // Stage 1: dedup into candidates (sorted by representative because the
   // grouping walks orders in lexicographic rank order), then keep this
   // shard's slice of the stream.
-  std::vector<TuneCandidate> candidates = dedup_candidates(h, query, stats);
+  std::vector<TuneCandidate> candidates =
+      dedup_candidates(engine, h, query, stats);
   stats.classes = static_cast<std::int64_t>(candidates.size());
   if (query.shard_count > 1) {
     std::vector<TuneCandidate> mine;
@@ -351,7 +361,7 @@ TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
 
   // Stage 0: closed-form characterization of every representative (the
   // report legend and the screening heuristic; never a simulation).
-  fan_out(candidates.size(), workers, [&](std::size_t i) {
+  fan_out(engine, candidates.size(), workers, [&](std::size_t i) {
     candidates[i].character = characterize_order(
         h, candidates[i].order, query.comm_sizes.front(), MetricsImpl::Fast);
   });
@@ -383,9 +393,9 @@ TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
   // Stage 2: admissible lower bounds, computed in parallel, then the
   // branch-and-bound visit order (bound ascending, packed-first tie-break).
   if (query.prune) {
-    fan_out(active.size(), workers, [&](std::size_t i) {
+    fan_out(engine, active.size(), workers, [&](std::size_t i) {
       candidates[active[i]].lower_bound =
-          candidate_bound(machine, query, report.points,
+          candidate_bound(engine, machine, query, report.points,
                           candidates[active[i]].order);
     });
     stats.bounds_computed = static_cast<std::int64_t>(active.size());
@@ -444,8 +454,8 @@ TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
       end = std::min(end, pos + static_cast<std::size_t>(std::max<std::int64_t>(
                               affordable, 1)));
     }
-    fan_out(end - pos, workers, [&](std::size_t i) {
-      simulate_candidate(machine, query, report.points,
+    fan_out(engine, end - pos, workers, [&](std::size_t i) {
+      simulate_candidate(engine, machine, query, report.points,
                          candidates[active[pos + i]]);
     });
     for (std::size_t i = pos; i < end; ++i) {
@@ -493,7 +503,14 @@ TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
   report.top.assign(simulated.begin(),
                     simulated.begin() + static_cast<std::ptrdiff_t>(keep));
   stats.elapsed_seconds = meter.elapsed_seconds();
+  engine.record_tune(stats.simulated, stats.sim_points);
   return report;
+}
+
+// Backward-compat shim: the singleton-era signature, routed through the
+// process-wide engine (same cache, same pool, same report bytes).
+TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
+  return tune(Engine::shared(), machine, query);
 }
 
 }  // namespace mr::tune

@@ -92,6 +92,13 @@ void ThreadPool::worker_loop(std::size_t self) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body,
                               unsigned max_workers) {
+  parallel_for_slots(
+      n, [&body](unsigned /*slot*/, std::size_t i) { body(i); }, max_workers);
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t n, const std::function<void(unsigned, std::size_t)>& body,
+    unsigned max_workers) {
   if (n == 0) return;
   unsigned workers = size();
   if (max_workers != 0 && max_workers < workers) workers = max_workers;
@@ -99,19 +106,19 @@ void ThreadPool::parallel_for(std::size_t n,
     workers = static_cast<unsigned>(n);
   }
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
 
   std::atomic<std::size_t> cursor{0};
   std::mutex error_mutex;
   std::exception_ptr error;
-  const auto drive = [&] {
+  const auto drive = [&](unsigned slot) {
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        body(i);
+        body(slot, i);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -125,8 +132,10 @@ void ThreadPool::parallel_for(std::size_t n,
 
   std::vector<std::future<void>> helpers;
   helpers.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) helpers.push_back(submit(drive));
-  drive();  // the caller participates.
+  for (unsigned w = 1; w < workers; ++w) {
+    helpers.push_back(submit([&drive, w] { drive(w); }));
+  }
+  drive(0);  // the caller participates as slot 0.
   for (std::future<void>& f : helpers) f.get();
   if (error) std::rethrow_exception(error);
 }
