@@ -42,6 +42,7 @@
 #include "mixradix/simmpi/plan_cache.hpp"
 #include "mixradix/simmpi/timed_executor.hpp"
 #include "mixradix/util/thread_pool.hpp"
+#include "mixradix/verify/binding.hpp"
 
 namespace mr {
 
@@ -57,7 +58,14 @@ struct EngineConfig {
   /// 0 = fan work out over the process-wide pool (workers are stateless
   /// per task, so engines stay isolated even on shared threads); N =
   /// spawn a dedicated N-thread pool owned — and joined — by this engine.
+  /// The actual thread count may be reduced by the cooperative budget
+  /// (Engine::set_dedicated_thread_budget); dedicated_threads_granted()
+  /// reports what this engine received.
   unsigned dedicated_threads = 0;
+  /// Static-bound-structure LRU capacity (verify::binding::BoundCache):
+  /// 0 = unbounded, N = keep at most N payload-invariant structures.
+  std::size_t bound_cache_capacity =
+      verify::binding::BoundCache::kDefaultCapacity;
 };
 
 class Engine {
@@ -74,6 +82,11 @@ class Engine {
   /// This engine's compiled-plan cache. For Engine::shared() this is
   /// PlanCache::shared() itself (the backward-compat story).
   simmpi::PlanCache& plan_cache() noexcept { return *cache_; }
+
+  /// This engine's static-bound-structure cache (tune stage 2's
+  /// analyze_jobs memoization across payload sizes). Always engine-owned —
+  /// Engine::shared() gets its own process-lifetime instance.
+  verify::binding::BoundCache& bound_cache() noexcept { return *bound_cache_; }
 
   /// The pool this engine fans work over: its dedicated pool when
   /// EngineConfig::dedicated_threads > 0, else the process-wide pool
@@ -136,6 +149,7 @@ class Engine {
   /// have fully disjoint stats.
   struct Stats {
     simmpi::PlanCache::Stats plan_cache;
+    verify::binding::BoundCache::Stats bound_cache;
 
     // Timed-executor runs recorded via record_run (sweeps, tune stage 3).
     std::int64_t sim_runs = 0;
@@ -181,6 +195,24 @@ class Engine {
   /// ThreadPool::shared(), and its workspace pool lives for the process.
   static Engine& shared();
 
+  // ---- Cooperative dedicated-pool budget ----------------------------------
+  //
+  // N tenant engines each asking for `dedicated_threads` workers would
+  // oversubscribe the host N-fold. The budget is a process-wide cap on the
+  // SUM of dedicated threads alive at once: an engine constructed while the
+  // budget is tight is granted min(requested, max(1, budget - in_use)) —
+  // never zero, so it always makes progress — and returns its grant when it
+  // is destroyed. 0 (the default) disables the cap entirely.
+
+  /// Set the process-wide dedicated-thread budget; 0 = unlimited. Applies
+  /// to engines constructed AFTER the call (live grants are not reclaimed).
+  static void set_dedicated_thread_budget(unsigned budget);
+  static unsigned dedicated_thread_budget();
+  /// Dedicated threads currently granted across all live engines.
+  static unsigned dedicated_threads_in_use();
+  /// Threads this engine's dedicated pool actually got (0 = shared pool).
+  unsigned dedicated_threads_granted() const noexcept { return granted_; }
+
  private:
   struct SharedTag {};
   explicit Engine(SharedTag);
@@ -189,8 +221,10 @@ class Engine {
   EngineConfig config_;
   std::unique_ptr<simmpi::PlanCache> owned_cache_;
   simmpi::PlanCache* cache_ = nullptr;
+  std::unique_ptr<verify::binding::BoundCache> bound_cache_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_ = nullptr;  ///< null = use the process pool.
+  unsigned granted_ = 0;  ///< dedicated threads drawn from the budget.
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<simmpi::SimWorkspace>> idle_;  ///< LIFO.

@@ -90,4 +90,13 @@ class Machine {
   std::int64_t total_components_ = 0;
 };
 
+/// The parameters that determine a machine's channel capacities, routes and
+/// cost model, rendered to a canonical string at full double precision. Two
+/// Machine instances with equal fingerprints are interchangeable for every
+/// derived structure (interned routes, channel capacities, static bounds) —
+/// pointer identity is NOT a safe test, since a new machine can reuse a
+/// dead one's address. Used by SimWorkspace rebinding and the
+/// verify::binding::BoundCache key.
+std::string machine_fingerprint(const Machine& machine);
+
 }  // namespace mr::topo

@@ -100,6 +100,11 @@ struct TuneQuery {
   bool dedup = true;   ///< stage 1; off = every order its own candidate.
   bool prune = true;   ///< stage 2; off = simulate every candidate.
   bool use_plan_cache = true;  ///< resolve plans through the engine's cache.
+  /// Serve stage-2 bounds through the engine's BoundCache: one payload-
+  /// invariant structure per binding class, evaluated across the whole
+  /// payload grid. Bit-identical bounds either way (the cached evaluate IS
+  /// the uncached analysis); off = fresh analyze_jobs per candidate x point.
+  bool use_bound_cache = true;
   /// Shard `shard_index` of `shard_count` over the candidate stream: after
   /// dedup, candidate i (in representative-lexicographic order) belongs to
   /// shard i % shard_count. Shards partition the candidates exactly.
@@ -152,13 +157,24 @@ struct TuneStats {
   /// (h! x points); sim_points vs this is the funnel's saving.
   std::int64_t exhaustive_points = 0;
   std::int64_t budget_skipped = 0;
+  /// Stage-2 full analyses (route resolution + DP recording) vs cheap
+  /// structure reuses (BoundCache evaluate). built + reuses ==
+  /// bounds_computed x points; with the cache off every call is a build.
+  /// Excluded from write_json: reuse counts depend on cache warmth across
+  /// runs sharing an engine, and reports must stay byte-comparable.
+  std::int64_t bound_structures_built = 0;
+  std::int64_t bound_structure_reuses = 0;
+  /// Candidates simulated as wave 0 from a previous report's ranking
+  /// (incremental re-tune); 0 on a cold run. Deterministic, in write_json.
+  std::int64_t seeded_candidates = 0;
   mr::ClassifyStats classify;     ///< stage-1 hashed-classifier counters.
   /// True iff the funnel ran to completion; false = budget truncation, the
   /// ranking is best-so-far (anytime semantics).
   bool exhausted = true;
-  /// Wall clock of the whole search. Excluded from write_json so reports
-  /// stay byte-comparable across runs.
+  /// Wall clock of the whole search / of stage 2's bound computation.
+  /// Excluded from write_json so reports stay byte-comparable across runs.
   double elapsed_seconds = 0;
+  double bound_seconds = 0;
 };
 
 struct TuneReport {
@@ -181,6 +197,18 @@ struct TuneReport {
 /// thread pool, and the funnel's totals rolled into Engine::Stats. Throws
 /// mr::invalid_argument on malformed queries (empty point lists, comm sizes
 /// not dividing the core count, bad shard spec).
+///
+/// Incremental re-tune: when `previous` is a report whose query is
+/// compatible with this one (same machine/hierarchy, same concurrency,
+/// repetitions and completion slack, unsharded, and the previous point grid
+/// is a SUBSET of the new one), the previous winners are re-simulated first
+/// as wave 0, so branch-and-bound starts with k real incumbents and prunes
+/// from the first wave. The top-k set and ranking are EXACTLY the cold
+/// run's — seeds carry true new-grid scores and pruning keeps its strict
+/// admissible cut — only the simulated-candidate count shrinks. An
+/// incompatible or null `previous` degenerates to a cold run byte for byte.
+TuneReport tune(Engine& engine, const topo::Machine& machine,
+                const TuneQuery& query, const TuneReport* previous);
 TuneReport tune(Engine& engine, const topo::Machine& machine,
                 const TuneQuery& query);
 /// Backward-compat shim: tune through Engine::shared().

@@ -1,29 +1,96 @@
 #include "mixradix/engine/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "mixradix/mr/equivalence.hpp"
 
 namespace mr {
 
+namespace {
+
+/// Process-wide dedicated-thread budget state (cooperative cap).
+struct ThreadBudget {
+  std::mutex mutex;
+  unsigned budget = 0;  ///< 0 = unlimited.
+  unsigned in_use = 0;  ///< granted to live engines.
+};
+
+ThreadBudget& thread_budget() {
+  static ThreadBudget budget;
+  return budget;
+}
+
+/// Draw up to `requested` threads from the budget; never returns 0 so a
+/// tenant engine arriving after the budget is exhausted still progresses
+/// (one worker oversubscribes by at most 1 per engine, not by N).
+unsigned acquire_dedicated_threads(unsigned requested) {
+  ThreadBudget& b = thread_budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  unsigned grant = requested;
+  if (b.budget > 0) {
+    const unsigned available = b.budget > b.in_use ? b.budget - b.in_use : 0;
+    grant = std::min(requested, std::max(1u, available));
+  }
+  b.in_use += grant;
+  return grant;
+}
+
+void release_dedicated_threads(unsigned grant) {
+  if (grant == 0) return;
+  ThreadBudget& b = thread_budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  b.in_use -= std::min(b.in_use, grant);
+}
+
+}  // namespace
+
 Engine::Engine(const EngineConfig& config)
     : config_(config),
       owned_cache_(
           std::make_unique<simmpi::PlanCache>(config.plan_cache_capacity)),
-      cache_(owned_cache_.get()) {
+      cache_(owned_cache_.get()),
+      bound_cache_(std::make_unique<verify::binding::BoundCache>(
+          config.bound_cache_capacity)) {
   if (config.dedicated_threads > 0) {
-    owned_pool_ = std::make_unique<util::ThreadPool>(config.dedicated_threads);
+    granted_ = acquire_dedicated_threads(config.dedicated_threads);
+    owned_pool_ = std::make_unique<util::ThreadPool>(granted_);
     pool_ = owned_pool_.get();
   }
 }
 
-Engine::Engine(SharedTag) : cache_(&simmpi::PlanCache::shared()) {
+Engine::Engine(SharedTag)
+    : cache_(&simmpi::PlanCache::shared()),
+      bound_cache_(std::make_unique<verify::binding::BoundCache>()) {
   // pool_ stays null: thread_pool() resolves to ThreadPool::shared()
   // lazily, so serial callers routed through the shared engine still
   // never spawn worker threads.
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Join the dedicated pool before returning its threads to the budget so
+  // a successor engine never sees the budget free while workers still run.
+  owned_pool_.reset();
+  release_dedicated_threads(granted_);
+}
+
+void Engine::set_dedicated_thread_budget(unsigned budget) {
+  ThreadBudget& b = thread_budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  b.budget = budget;
+}
+
+unsigned Engine::dedicated_thread_budget() {
+  ThreadBudget& b = thread_budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  return b.budget;
+}
+
+unsigned Engine::dedicated_threads_in_use() {
+  ThreadBudget& b = thread_budget();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  return b.in_use;
+}
 
 Engine::WorkspaceLease Engine::workspace() {
   std::unique_ptr<simmpi::SimWorkspace> ws;
@@ -61,6 +128,7 @@ Engine::Stats Engine::stats() const {
     out.workspaces_idle = static_cast<std::int64_t>(idle_.size());
   }
   out.plan_cache = cache_->stats();
+  out.bound_cache = bound_cache_->stats();
   return out;
 }
 

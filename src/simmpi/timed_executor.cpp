@@ -62,28 +62,6 @@ struct RankState {
   bool finished = false;
 };
 
-/// The parameters that determine a machine's channel capacities, routes
-/// and cost model — what a SimWorkspace binding depends on. Two Machine
-/// instances with equal fingerprints are interchangeable, so a reused
-/// workspace keeps its interned routes across them (pointer identity is
-/// NOT a safe test: a new machine can reuse a dead one's address).
-std::string fingerprint_of(const topo::Machine& machine) {
-  std::ostringstream os;
-  os.precision(17);
-  os << machine.name() << '\n' << machine.core_flops();
-  const auto& costs = machine.costs();
-  os << '\n'
-     << costs.send_overhead << ' ' << costs.recv_overhead << ' '
-     << costs.base_latency << ' ' << costs.eager_threshold << ' '
-     << costs.reduce_seconds_per_byte;
-  for (const auto& level : machine.levels()) {
-    os << '\n'
-       << level.name << ' ' << level.radix << ' ' << level.link_latency << ' '
-       << level.link_bandwidth << ' ' << level.mem_bandwidth;
-  }
-  return os.str();
-}
-
 }  // namespace
 
 /// Everything the engine allocates, hoisted so reuse across runs is
@@ -105,7 +83,7 @@ struct SimWorkspace::Impl {
   /// drops interned routes; an equivalent machine only retargets the
   /// route table's reference.
   void bind(const topo::Machine& machine) {
-    std::string fp = fingerprint_of(machine);
+    std::string fp = topo::machine_fingerprint(machine);
     if (fp == fingerprint) {
       routes.rebind_equivalent(machine);
       return;

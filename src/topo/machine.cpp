@@ -1,6 +1,7 @@
 #include "mixradix/topo/machine.hpp"
 
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -139,6 +140,23 @@ Machine Machine::with_nic_scale(double factor) const {
 
 Machine Machine::with_costs(MessagingCosts costs) const {
   return Machine(name_, levels_, costs, core_flops_);
+}
+
+std::string machine_fingerprint(const Machine& machine) {
+  std::ostringstream os;
+  os.precision(17);
+  os << machine.name() << '\n' << machine.core_flops();
+  const auto& costs = machine.costs();
+  os << '\n'
+     << costs.send_overhead << ' ' << costs.recv_overhead << ' '
+     << costs.base_latency << ' ' << costs.eager_threshold << ' '
+     << costs.reduce_seconds_per_byte;
+  for (const auto& level : machine.levels()) {
+    os << '\n'
+       << level.name << ' ' << level.radix << ' ' << level.link_latency << ' '
+       << level.link_bandwidth << ' ' << level.mem_bandwidth;
+  }
+  return os.str();
 }
 
 std::string Machine::describe() const {

@@ -1,6 +1,7 @@
 #include "mixradix/tune/search.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -191,17 +192,28 @@ std::vector<TuneCandidate> dedup_candidates(Engine& engine, const Hierarchy& h,
 
 // ---- Stages 2+3 helpers -----------------------------------------------------
 
+/// One candidate's stage-2 outcome: the admissible bound plus the
+/// full-analysis vs structure-reuse accounting behind it.
+struct BoundOutcome {
+  double bound = 0;
+  std::int64_t built = 0;   ///< full route-resolution + DP passes.
+  std::int64_t reused = 0;  ///< BoundCache evaluate()s of a cached structure.
+};
+
 /// Stage-2 admissible bound of one candidate: per-point static lower bounds
 /// (deflated for the simulated slack), summed — a lower bound on the
-/// candidate's score because the score is the sum of point makespans.
-double candidate_bound(Engine& engine, const topo::Machine& machine,
-                       const TuneQuery& query,
-                       const std::vector<QueryPoint>& points,
-                       const Order& order) {
+/// candidate's score because the score is the sum of point makespans. With
+/// the bound cache on, the payload-invariant structure is resolved once per
+/// binding class and evaluated per payload point — the Results (and hence
+/// the bounds and the funnel's ranking) are bit-identical either way.
+BoundOutcome candidate_bound(Engine& engine, const topo::Machine& machine,
+                             const TuneQuery& query,
+                             const std::vector<QueryPoint>& points,
+                             const Order& order) {
   verify::binding::Options options;
   options.load_report = false;
   options.lower_bound = true;
-  double bound = 0;
+  BoundOutcome out;
   for (const QueryPoint& point : points) {
     const auto jobs = harness::protocol_jobs(
         engine, machine, point_config(query, point, order));
@@ -212,15 +224,22 @@ double candidate_bound(Engine& engine, const topo::Machine& machine,
                           job.plan->repetitions, &job.core_of_rank,
                           job.start_time});
     }
-    const auto result =
-        verify::binding::analyze_jobs(machine, bindings, options);
+    verify::binding::Result result;
+    if (query.use_bound_cache) {
+      bool reused = false;
+      result = engine.bound_cache().analyze(machine, bindings, &reused);
+      ++(reused ? out.reused : out.built);
+    } else {
+      result = verify::binding::analyze_jobs(machine, bindings, options);
+      ++out.built;
+    }
     // A diagnostic here would mean the tuner built an invalid binding; a
     // zero bound keeps the candidate simulable instead of mis-pruning it.
     if (result.clean()) {
-      bound += result.bound.for_slack(query.completion_slack);
+      out.bound += result.bound.for_slack(query.completion_slack);
     }
   }
-  return bound;
+  return out;
 }
 
 /// Stage-3 full-fidelity evaluation of one candidate. The workspace is
@@ -280,6 +299,38 @@ void validate(const topo::Machine& machine, const TuneQuery& query) {
             "shard index must lie in [0, shard_count)");
 }
 
+/// May `previous` seed this query's stage-3 incumbents? The previous
+/// winners' scores transfer as first-wave candidates only when both runs
+/// rank by the same objective family: same machine and hierarchy, same
+/// concurrency/repetitions/slack, both unsharded, and every previous point
+/// present in the new grid (a superset query — the canonical incremental
+/// shape: added payload sizes or collectives).
+bool seed_applicable(const TuneReport* previous, const topo::Machine& machine,
+                     const Hierarchy& h, const TuneQuery& query,
+                     const std::vector<QueryPoint>& points) {
+  if (previous == nullptr || previous->top.empty()) return false;
+  if (previous->machine != machine.name() ||
+      previous->hierarchy != h.to_string()) {
+    return false;
+  }
+  const TuneQuery& pq = previous->query;
+  if (pq.concurrency != query.concurrency ||
+      pq.repetitions != query.repetitions ||
+      pq.completion_slack != query.completion_slack ||
+      pq.shard_count != 1 || query.shard_count != 1) {
+    return false;
+  }
+  for (const QueryPoint& p : previous->points) {
+    const bool found = std::any_of(
+        points.begin(), points.end(), [&](const QueryPoint& q) {
+          return p.collective == q.collective && p.comm_size == q.comm_size &&
+                 p.total_bytes == q.total_bytes;
+        });
+    if (!found) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string QueryPoint::to_string() const {
@@ -318,7 +369,7 @@ std::string_view collective_name(simmpi::Collective collective) {
 }
 
 TuneReport tune(Engine& engine, const topo::Machine& machine,
-                const TuneQuery& query) {
+                const TuneQuery& query, const TuneReport* previous) {
   validate(machine, query);
   const Hierarchy& h = machine.hierarchy();
   const unsigned workers = resolve_workers(query.threads);
@@ -393,12 +444,22 @@ TuneReport tune(Engine& engine, const topo::Machine& machine,
   // Stage 2: admissible lower bounds, computed in parallel, then the
   // branch-and-bound visit order (bound ascending, packed-first tie-break).
   if (query.prune) {
+    const auto bound_start = std::chrono::steady_clock::now();
+    std::vector<BoundOutcome> outcomes(active.size());
     fan_out(engine, active.size(), workers, [&](std::size_t i) {
-      candidates[active[i]].lower_bound =
-          candidate_bound(engine, machine, query, report.points,
-                          candidates[active[i]].order);
+      outcomes[i] = candidate_bound(engine, machine, query, report.points,
+                                    candidates[active[i]].order);
     });
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      candidates[active[i]].lower_bound = outcomes[i].bound;
+      stats.bound_structures_built += outcomes[i].built;
+      stats.bound_structure_reuses += outcomes[i].reused;
+    }
     stats.bounds_computed = static_cast<std::int64_t>(active.size());
+    stats.bound_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      bound_start)
+            .count();
   }
   std::sort(active.begin(), active.end(), [&](std::size_t a, std::size_t b) {
     if (candidates[a].lower_bound != candidates[b].lower_bound) {
@@ -411,32 +472,101 @@ TuneReport tune(Engine& engine, const topo::Machine& machine,
     return candidates[a].order < candidates[b].order;
   });
 
+  // Incremental seeding: when a compatible previous report is supplied,
+  // re-simulate its winners FIRST (wave 0), in previous-score order, so the
+  // k-th best cut is a real incumbent before the bound-ordered sweep
+  // starts. Seeds earn true new-grid scores through the exact same
+  // simulate_candidate path, so pruning keeps its admissible strict-cut
+  // guarantee and the final top-k equals the cold run's.
+  std::vector<double> best;  // ascending; at most k simulated scores.
+  const double inf = std::numeric_limits<double>::infinity();
+  int wave = 0;
+  std::vector<std::size_t> pending = active;  // bound order, minus any seeds.
+  if (seed_applicable(previous, machine, h, query, report.points) &&
+      !meter.exhausted()) {
+    // Previous winners' scores, addressable by ANY class member: the new
+    // dedup may split or relabel classes, but a member order identifies
+    // its old class regardless.
+    std::map<Order, double> prev_score;
+    for (const std::size_t t : previous->top) {
+      const TuneCandidate& c = previous->candidates[t];
+      for (const Order& m : c.members) prev_score.emplace(m, c.score);
+    }
+    std::vector<std::pair<double, std::size_t>> ranked;  // (score, active pos)
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      double sc = inf;
+      for (const Order& m : candidates[active[i]].members) {
+        const auto it = prev_score.find(m);
+        if (it != prev_score.end()) sc = std::min(sc, it->second);
+      }
+      if (sc < inf) ranked.push_back({sc, i});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return candidates[active[a.second]].order <
+                       candidates[active[b.second]].order;
+              });
+    std::size_t nseeds =
+        std::min(ranked.size(), static_cast<std::size_t>(query.k));
+    if (npoints > 0) {
+      const std::int64_t affordable = meter.remaining_points() / npoints;
+      nseeds = std::min(
+          nseeds, static_cast<std::size_t>(std::max<std::int64_t>(affordable,
+                                                                  1)));
+    }
+    if (nseeds > 0) {
+      fan_out(engine, nseeds, workers, [&](std::size_t i) {
+        simulate_candidate(engine, machine, query, report.points,
+                           candidates[active[ranked[i].second]]);
+      });
+      std::vector<bool> seeded(active.size(), false);
+      for (std::size_t i = 0; i < nseeds; ++i) {
+        TuneCandidate& c = candidates[active[ranked[i].second]];
+        c.fate = Fate::Simulated;
+        c.wave = 0;
+        seeded[ranked[i].second] = true;
+        ++stats.simulated;
+        best.insert(std::upper_bound(best.begin(), best.end(), c.score),
+                    c.score);
+        if (best.size() > static_cast<std::size_t>(query.k)) best.pop_back();
+      }
+      meter.charge(static_cast<std::int64_t>(nseeds) * npoints);
+      stats.sim_points += static_cast<std::int64_t>(nseeds) * npoints;
+      stats.seeded_candidates = static_cast<std::int64_t>(nseeds);
+      wave = 1;
+      pending.clear();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!seeded[i]) pending.push_back(active[i]);
+      }
+    }
+  }
+
   // Stage 3: fixed-size simulation waves in bound order. The k-th best
   // simulated score only improves between waves, and the candidates are
   // bound-sorted, so the first candidate whose bound STRICTLY exceeds it
   // ends the search: everything after is provably outside the top k. The
   // strict inequality keeps exact ties simulable — a pruned candidate's
   // true score is > the k-th best, never equal, so lexicographic
-  // tie-breaking matches the exhaustive ranking bit for bit.
-  std::vector<double> best;  // ascending; at most k simulated scores.
-  const double inf = std::numeric_limits<double>::infinity();
+  // tie-breaking matches the exhaustive ranking bit for bit. With no seeds
+  // `pending` IS the active stream and this loop is the cold funnel
+  // verbatim.
   std::size_t pos = 0;
-  int wave = 0;
-  while (pos < active.size()) {
+  while (pos < pending.size()) {
     const double kth =
         static_cast<std::size_t>(query.k) <= best.size()
             ? best[static_cast<std::size_t>(query.k) - 1]
             : inf;
-    if (query.prune && candidates[active[pos]].lower_bound > kth) {
-      for (std::size_t i = pos; i < active.size(); ++i) {
-        candidates[active[i]].fate = Fate::Pruned;
+    if (query.prune && candidates[pending[pos]].lower_bound > kth) {
+      for (std::size_t i = pos; i < pending.size(); ++i) {
+        candidates[pending[i]].fate = Fate::Pruned;
         ++stats.pruned;
       }
       break;
     }
     if (meter.exhausted()) {
-      for (std::size_t i = pos; i < active.size(); ++i) {
-        candidates[active[i]].fate = Fate::Skipped;
+      for (std::size_t i = pos; i < pending.size(); ++i) {
+        candidates[pending[i]].fate = Fate::Skipped;
         ++stats.budget_skipped;
       }
       stats.exhausted = false;
@@ -445,9 +575,9 @@ TuneReport tune(Engine& engine, const topo::Machine& machine,
     // Wave = the next wave_size candidates that survive the current k-th
     // best and still fit the point budget (all thread-count independent).
     std::size_t end = std::min(pos + static_cast<std::size_t>(query.wave_size),
-                               active.size());
+                               pending.size());
     if (query.prune) {
-      while (end > pos && candidates[active[end - 1]].lower_bound > kth) --end;
+      while (end > pos && candidates[pending[end - 1]].lower_bound > kth) --end;
     }
     if (npoints > 0) {
       const std::int64_t affordable = meter.remaining_points() / npoints;
@@ -456,10 +586,10 @@ TuneReport tune(Engine& engine, const topo::Machine& machine,
     }
     fan_out(engine, end - pos, workers, [&](std::size_t i) {
       simulate_candidate(engine, machine, query, report.points,
-                         candidates[active[pos + i]]);
+                         candidates[pending[pos + i]]);
     });
     for (std::size_t i = pos; i < end; ++i) {
-      TuneCandidate& c = candidates[active[i]];
+      TuneCandidate& c = candidates[pending[i]];
       c.fate = Fate::Simulated;
       c.wave = wave;
       ++stats.simulated;
@@ -507,10 +637,15 @@ TuneReport tune(Engine& engine, const topo::Machine& machine,
   return report;
 }
 
+TuneReport tune(Engine& engine, const topo::Machine& machine,
+                const TuneQuery& query) {
+  return tune(engine, machine, query, nullptr);
+}
+
 // Backward-compat shim: the singleton-era signature, routed through the
 // process-wide engine (same cache, same pool, same report bytes).
 TuneReport tune(const topo::Machine& machine, const TuneQuery& query) {
-  return tune(Engine::shared(), machine, query);
+  return tune(Engine::shared(), machine, query, nullptr);
 }
 
 }  // namespace mr::tune

@@ -5,7 +5,9 @@
 #include <cstddef>
 #include <limits>
 #include <sstream>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mixradix/simnet/path.hpp"
@@ -124,6 +126,9 @@ class RouteCache {
   const RouteFacts& facts(std::int32_t id) const {
     return routes_[static_cast<std::size_t>(id)];
   }
+
+  /// Every derived route, indexed by id (BoundStructure snapshots these).
+  const std::vector<RouteFacts>& all() const { return routes_; }
 
  private:
   struct MemLevel {
@@ -560,10 +565,16 @@ void build_load_report(const topo::Machine& machine,
 /// waitall orders rounds. FINISH events left unprocessed mean a genuine
 /// happens-before cycle: diagnosed, and the bound stays 0 (trivially
 /// sound).
+/// When `trace` is non-null, every popped worklist event is appended in
+/// processing order. The pop order is payload-invariant — pend counts and
+/// worklist pushes depend only on the CSR edges, never on message bytes —
+/// so BoundStructure::evaluate can replay the recorded sequence against a
+/// different payload and reproduce this DP's value operations exactly.
 void build_bound(const std::vector<JobBinding>& jobs,
                  std::vector<JobFacts>& facts,
                  const std::vector<double>& capacities,
-                 const RouteCache& routes, Sink& sink, Bound& bound) {
+                 const RouteCache& routes, Sink& sink, Bound& bound,
+                 std::vector<std::int64_t>* trace = nullptr) {
   // Node numbering: per job, per rank, virtual round vr in
   // [0, rounds_of(rank) * repetitions).
   std::int64_t nnodes = 0;
@@ -643,6 +654,9 @@ void build_bound(const std::vector<JobBinding>& jobs,
   while (!worklist.empty()) {
     const std::int64_t event = worklist.back();
     worklist.pop_back();
+    if (trace != nullptr) {
+      trace->push_back(event);
+    }
     const std::int64_t node = event / 2;
     // Locate the node from the stored bases.
     std::size_t j = 0;
@@ -876,6 +890,477 @@ Result analyze(const simmpi::Plan& plan, const topo::Machine& machine,
   job.repetitions = plan.repetitions;
   job.core_of_rank = &core_of_rank;
   return analyze_jobs(machine, {job}, options);
+}
+
+// ---- BoundStructure -------------------------------------------------------
+
+/// The frozen payload-invariant half of one analysis. Job structure is
+/// DEEP-COPIED (CSR arrays, endpoints, cores): JobBinding is non-owning and
+/// the plans behind a tune candidate can be evicted from the PlanCache
+/// between the build and a later evaluate, so pointers must never outlive
+/// the call that passed them in.
+struct BoundStructure::Impl {
+  /// One job's structural snapshot plus the invariant message facts.
+  struct JobStruct {
+    std::int32_t nranks = 0;
+    int repetitions = 1;
+    double start_time = 0;
+    std::vector<std::int64_t> cores;
+    std::vector<std::int32_t> msg_src;  ///< per message; bytes NOT kept.
+    std::vector<std::int32_t> msg_dst;
+    std::vector<std::int64_t> rank_rounds_begin;
+    std::vector<std::int64_t> send_begin;
+    std::vector<std::int64_t> recv_begin;
+    std::vector<std::int32_t> send_msg;
+    std::vector<std::int32_t> recv_msg;
+    /// Invariant per-message facts: send_gi/recv_gi, route id, latency,
+    /// cap_min, crosses_network. The eager/transfer_floor fields hold the
+    /// BUILD payload's values and are recomputed per evaluate.
+    std::vector<MsgFacts> msgs;
+    std::int64_t node_base = 0;
+    std::vector<std::int64_t> rank_node_base;
+  };
+
+  std::string fingerprint;   ///< topo::machine_fingerprint at build time.
+  std::string machine_name;
+  Report report;             ///< payload-invariant diagnostics, verbatim.
+  bool clean_ok = false;
+  std::vector<double> capacities;   ///< simnet::channel_capacities snapshot.
+  std::vector<RouteFacts> routes;   ///< by RouteCache id.
+  std::vector<JobStruct> jobs;
+  std::vector<std::int64_t> trace;  ///< popped DP events, processing order.
+  std::int64_t nnodes = 0;
+};
+
+BoundStructure::BoundStructure() = default;
+BoundStructure::~BoundStructure() = default;
+BoundStructure::BoundStructure(BoundStructure&&) noexcept = default;
+BoundStructure& BoundStructure::operator=(BoundStructure&&) noexcept = default;
+
+bool BoundStructure::clean() const {
+  return impl_ != nullptr && impl_->clean_ok;
+}
+
+BoundStructure BoundStructure::build(const topo::Machine& machine,
+                                     const std::vector<JobBinding>& jobs,
+                                     Result& fresh) {
+  BoundStructure s;
+  s.impl_ = std::make_unique<Impl>();
+  Impl& im = *s.impl_;
+  im.fingerprint = topo::machine_fingerprint(machine);
+  im.machine_name = machine.name();
+
+  // Mirror analyze_jobs(machine, jobs, {load_report=false}) exactly, with
+  // the DP trace recorded alongside.
+  fresh = Result{};
+  fresh.machine = machine.name();
+  Sink sink(fresh.report, jobs.size() > 1);
+  if (jobs.empty()) {
+    return s;
+  }
+  RouteCache routes(machine);
+  std::vector<JobFacts> facts(jobs.size());
+  bool ok = true;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    sink.job(static_cast<int>(j));
+    ok = check_job(machine, jobs[j], routes, sink, facts[j]) && ok;
+  }
+  if (ok) {
+    sink.job(-1);
+    im.capacities = simnet::channel_capacities(machine);
+    build_bound(jobs, facts, im.capacities, routes, sink, fresh.bound,
+                &im.trace);
+  }
+  im.report = fresh.report;
+  im.clean_ok = ok && fresh.report.clean();
+  if (!im.clean_ok) {
+    return s;  // defective bindings are analyzed fresh every time.
+  }
+
+  im.routes = routes.all();
+  im.jobs.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const simmpi::Schedule& sched = *jobs[j].schedule;
+    const simmpi::PlanExec& exec = *jobs[j].exec;
+    Impl::JobStruct& js = im.jobs[j];
+    js.nranks = sched.nranks;
+    js.repetitions = jobs[j].repetitions;
+    js.start_time = jobs[j].start_time;
+    js.cores = *jobs[j].core_of_rank;
+    js.msg_src.reserve(sched.messages.size());
+    js.msg_dst.reserve(sched.messages.size());
+    for (const simmpi::MsgInfo& info : sched.messages) {
+      js.msg_src.push_back(info.src);
+      js.msg_dst.push_back(info.dst);
+    }
+    js.rank_rounds_begin = exec.rank_rounds_begin;
+    js.send_begin = exec.send_begin;
+    js.recv_begin = exec.recv_begin;
+    js.send_msg = exec.send_msg;
+    js.recv_msg = exec.recv_msg;
+    js.msgs = std::move(facts[j].msgs);
+    js.node_base = facts[j].node_base;
+    js.rank_node_base = std::move(facts[j].rank_node_base);
+    im.nnodes = js.node_base +
+                js.rank_node_base[static_cast<std::size_t>(js.nranks)];
+  }
+  return s;
+}
+
+bool BoundStructure::compatible(const topo::Machine& machine,
+                                const std::vector<JobBinding>& jobs) const {
+  // Unclean structures keep no structural snapshot; they never match.
+  if (impl_ == nullptr || !impl_->clean_ok) {
+    return false;
+  }
+  const Impl& im = *impl_;
+  if (jobs.size() != im.jobs.size() ||
+      topo::machine_fingerprint(machine) != im.fingerprint) {
+    return false;
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobBinding& job = jobs[j];
+    const Impl::JobStruct& js = im.jobs[j];
+    if (job.schedule == nullptr || job.exec == nullptr ||
+        job.core_of_rank == nullptr) {
+      return false;
+    }
+    const simmpi::Schedule& sched = *job.schedule;
+    const simmpi::PlanExec& exec = *job.exec;
+    // start_time compares bit-exactly: any difference shifts every DP
+    // value, so only the identical double may reuse the recorded report.
+    if (sched.nranks != js.nranks || job.repetitions != js.repetitions ||
+        job.start_time != js.start_time || *job.core_of_rank != js.cores) {
+      return false;
+    }
+    if (sched.messages.size() != js.msg_src.size()) {
+      return false;
+    }
+    for (std::size_t m = 0; m < sched.messages.size(); ++m) {
+      if (sched.messages[m].src != js.msg_src[m] ||
+          sched.messages[m].dst != js.msg_dst[m]) {
+        return false;
+      }
+    }
+    if (exec.rank_rounds_begin != js.rank_rounds_begin ||
+        exec.send_begin != js.send_begin ||
+        exec.recv_begin != js.recv_begin || exec.send_msg != js.send_msg ||
+        exec.recv_msg != js.recv_msg) {
+      return false;
+    }
+    // The payload-dependent arrays may hold any values, but evaluate()
+    // indexes them, so their extents must cover the structure.
+    const std::int64_t total_rounds = exec.rank_rounds_begin.back();
+    if (exec.msg_bytes.size() != sched.messages.size() ||
+        exec.round_compute.size() < static_cast<std::size_t>(total_rounds) ||
+        exec.round_copy_doubles.size() <
+            static_cast<std::size_t>(total_rounds)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result BoundStructure::evaluate(const topo::Machine& machine,
+                                const std::vector<JobBinding>& jobs) const {
+  MR_EXPECT(clean(), "evaluate() requires a clean BoundStructure");
+  const Impl& im = *impl_;
+  Result result;
+  result.machine = im.machine_name;
+  result.report = im.report;  // payload-invariant, verbatim.
+  const topo::MessagingCosts& costs = machine.costs();
+
+  // Payload-dependent terms, recomputed with the exact expressions
+  // check_job uses so every double matches the fresh analysis bit for bit.
+  struct JobEval {
+    std::vector<double> floor;        ///< latency + bytes / cap_min.
+    std::vector<std::uint8_t> eager;  ///< bytes <= eager_threshold.
+    std::vector<double> round_cpu;
+  };
+  std::vector<JobEval> ev(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const simmpi::Schedule& sched = *jobs[j].schedule;
+    const simmpi::PlanExec& exec = *jobs[j].exec;
+    const Impl::JobStruct& js = im.jobs[j];
+    const std::size_t nmsgs = sched.messages.size();
+    ev[j].floor.resize(nmsgs);
+    ev[j].eager.resize(nmsgs);
+    for (std::size_t m = 0; m < nmsgs; ++m) {
+      const std::int64_t bytes = sched.messages[m].bytes();
+      ev[j].eager[m] = bytes <= costs.eager_threshold ? 1 : 0;
+      ev[j].floor[m] =
+          js.msgs[m].latency + static_cast<double>(bytes) / js.msgs[m].cap_min;
+    }
+    const std::int64_t total_rounds = exec.rank_rounds_begin.back();
+    ev[j].round_cpu.resize(static_cast<std::size_t>(total_rounds));
+    for (std::int64_t gi = 0; gi < total_rounds; ++gi) {
+      ev[j].round_cpu[static_cast<std::size_t>(gi)] =
+          round_cpu_time(exec, costs, gi);
+    }
+  }
+
+  // Replay the recorded DP: identical event order, identical value
+  // operations, payload terms swapped in. No pend counts or worklist — the
+  // trace already encodes the schedule (and proves it acyclic).
+  const auto n = static_cast<std::size_t>(im.nnodes);
+  std::vector<double> ready(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> inbound(n, 0.0);
+  double cp = 0.0;
+  std::vector<double> chan_entry(im.capacities.size(), kInf);
+  std::vector<std::int64_t> chan_bytes(im.capacities.size(), 0);
+  std::vector<simnet::ChannelId> chan_touched;
+
+  for (const std::int64_t event : im.trace) {
+    const std::int64_t node = event / 2;
+    std::size_t j = 0;
+    while (j + 1 < im.jobs.size() && im.jobs[j + 1].node_base <= node) {
+      ++j;
+    }
+    const Impl::JobStruct& js = im.jobs[j];
+    const std::int64_t local = node - js.node_base;
+    const auto& rbase = js.rank_node_base;
+    const auto rit = std::upper_bound(rbase.begin(), rbase.end(), local);
+    const auto rank =
+        static_cast<std::int32_t>(std::distance(rbase.begin(), rit)) - 1;
+    const std::int64_t vr = local - rbase[static_cast<std::size_t>(rank)];
+    const simmpi::PlanExec& exec = *jobs[j].exec;
+    const std::int64_t rounds = exec.rounds_of(rank);
+    const std::int64_t gi =
+        exec.rank_rounds_begin[static_cast<std::size_t>(rank)] + vr % rounds;
+    const auto ni = static_cast<std::size_t>(node);
+    const auto i = static_cast<std::size_t>(gi);
+
+    if (event % 2 == 1) {
+      const double post = vr == 0 ? js.start_time
+                                  : finish[static_cast<std::size_t>(node - 1)];
+      finish[ni] = std::max(post, inbound[ni]);
+      if (vr == rounds * js.repetitions - 1) {
+        cp = std::max(cp, finish[ni]);
+      }
+      continue;
+    }
+
+    ready[ni] = (vr == 0 ? js.start_time
+                         : finish[static_cast<std::size_t>(node - 1)]) +
+                ev[j].round_cpu[i];
+    bool has_eager_send = false;
+    for (std::int64_t k = exec.send_begin[i]; k < exec.send_begin[i + 1];
+         ++k) {
+      const auto m = static_cast<std::size_t>(
+          exec.send_msg[static_cast<std::size_t>(k)]);
+      const MsgFacts& mf = js.msgs[m];
+      const simmpi::MsgInfo& info = jobs[j].schedule->messages[m];
+      const std::int64_t recv_local =
+          mf.recv_gi -
+          exec.rank_rounds_begin[static_cast<std::size_t>(info.dst)];
+      const std::int64_t rv =
+          vr / rounds * exec.rounds_of(info.dst) + recv_local;
+      const std::int64_t recv_node =
+          js.node_base + rbase[static_cast<std::size_t>(info.dst)] + rv;
+      const auto ri = static_cast<std::size_t>(recv_node);
+      inbound[ri] = std::max(inbound[ri], ready[ni] + ev[j].floor[m]);
+      if (ev[j].eager[m] != 0) {
+        has_eager_send = true;
+      } else {
+        inbound[ni] = std::max(inbound[ni], ready[ni] + ev[j].floor[m]);
+      }
+      if (mf.crosses_network && vr / rounds == 0) {
+        const double entry = ready[ni] + mf.latency;
+        const simnet::ChanSet& set = im.routes[static_cast<std::size_t>(
+                                                   mf.route)].channels;
+        for (std::int32_t s = 0; s < set.count; ++s) {
+          const auto c = static_cast<std::size_t>(
+              set.ids[static_cast<std::size_t>(s)]);
+          if (chan_bytes[c] == 0) {
+            chan_touched.push_back(set.ids[static_cast<std::size_t>(s)]);
+          }
+          chan_entry[c] = std::min(chan_entry[c], entry);
+          chan_bytes[c] += info.bytes() * js.repetitions;
+        }
+      }
+    }
+    for (std::int64_t k = exec.recv_begin[i]; k < exec.recv_begin[i + 1];
+         ++k) {
+      const auto m = static_cast<std::size_t>(
+          exec.recv_msg[static_cast<std::size_t>(k)]);
+      if (ev[j].eager[m] == 0) {
+        inbound[ni] = std::max(inbound[ni], ready[ni] + ev[j].floor[m]);
+      }
+    }
+    const bool has_sends = exec.send_begin[i + 1] > exec.send_begin[i];
+    const bool has_recvs = exec.recv_begin[i + 1] > exec.recv_begin[i];
+    if (has_eager_send || (!has_sends && !has_recvs)) {
+      inbound[ni] = std::max(inbound[ni], ready[ni]);
+    }
+  }
+
+  double agg = 0.0;
+  for (const simnet::ChannelId id : chan_touched) {
+    const auto c = static_cast<std::size_t>(id);
+    agg = std::max(agg, chan_entry[c] + static_cast<double>(chan_bytes[c]) /
+                                            im.capacities[c]);
+  }
+  result.bound.critical_path = cp;
+  result.bound.channel_serialization = agg;
+  result.bound.lower_bound = std::max(cp, agg);
+  return result;
+}
+
+// ---- structure_key --------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ bytes[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_vec(std::uint64_t h, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  h = fnv1a(h, v.data(), v.size() * sizeof(T));
+  // Fold in the length so adjacent arrays can't alias across boundaries.
+  const auto size = static_cast<std::uint64_t>(v.size());
+  return fnv1a(h, &size, sizeof(size));
+}
+
+}  // namespace
+
+std::uint64_t structure_key(const topo::Machine& machine,
+                            const std::vector<JobBinding>& jobs) {
+  const std::string fp = topo::machine_fingerprint(machine);
+  std::uint64_t h = fnv1a(kFnvOffset, fp.data(), fp.size());
+  for (const JobBinding& job : jobs) {
+    if (job.schedule == nullptr || job.exec == nullptr ||
+        job.core_of_rank == nullptr) {
+      // Defective bindings never cache; any stable value works.
+      h = fnv1a(h, "null", 4);
+      continue;
+    }
+    const simmpi::Schedule& sched = *job.schedule;
+    const simmpi::PlanExec& exec = *job.exec;
+    const std::int64_t scalars[3] = {
+        static_cast<std::int64_t>(sched.nranks),
+        static_cast<std::int64_t>(job.repetitions), 0};
+    h = fnv1a(h, scalars, sizeof(scalars));
+    h = fnv1a(h, &job.start_time, sizeof(job.start_time));
+    h = fnv1a_vec(h, *job.core_of_rank);
+    for (const simmpi::MsgInfo& info : sched.messages) {
+      const std::int32_t ends[2] = {info.src, info.dst};
+      h = fnv1a(h, ends, sizeof(ends));
+    }
+    h = fnv1a_vec(h, exec.rank_rounds_begin);
+    h = fnv1a_vec(h, exec.send_begin);
+    h = fnv1a_vec(h, exec.recv_begin);
+    h = fnv1a_vec(h, exec.send_msg);
+    h = fnv1a_vec(h, exec.recv_msg);
+  }
+  return h;
+}
+
+// ---- BoundCache -----------------------------------------------------------
+
+Result BoundCache::analyze(const topo::Machine& machine,
+                           const std::vector<JobBinding>& jobs,
+                           bool* structure_reused) {
+  if (structure_reused != nullptr) {
+    *structure_reused = false;
+  }
+  const std::uint64_t key = structure_key(machine, jobs);
+  std::shared_ptr<const BoundStructure> cached;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.recency);
+      cached = it->second.structure;
+    }
+  }
+  // Evaluate outside the lock; the structure is immutable and shared_ptr
+  // keeps it alive across a concurrent eviction.
+  if (cached != nullptr && cached->compatible(machine, jobs)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++hits_;
+    }
+    if (structure_reused != nullptr) {
+      *structure_reused = true;
+    }
+    return cached->evaluate(machine, jobs);
+  }
+
+  // Miss (cold key, or a hash collision whose exact check failed): run the
+  // full analysis outside the lock; two threads racing the same key both
+  // build — both sound, last one lands in the cache.
+  auto built = std::make_shared<BoundStructure>();
+  Result fresh;
+  *built = BoundStructure::build(machine, jobs, fresh);
+  const bool cacheable = built->clean() && !jobs.empty();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    if (cacheable) {
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        it->second.structure = std::move(built);
+        lru_.splice(lru_.begin(), lru_, it->second.recency);
+      } else {
+        lru_.push_front(key);
+        map_.emplace(key, Entry{std::move(built), lru_.begin()});
+        enforce_capacity_locked();
+      }
+    }
+  }
+  return fresh;
+}
+
+BoundCache::Stats BoundCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = map_.size();
+  return s;
+}
+
+void BoundCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+void BoundCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  enforce_capacity_locked();
+}
+
+std::size_t BoundCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void BoundCache::enforce_capacity_locked() {
+  if (capacity_ == 0) {
+    return;
+  }
+  while (map_.size() > capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++evictions_;
+  }
 }
 
 }  // namespace mr::verify::binding

@@ -403,6 +403,203 @@ TEST(BindingLoad, ChannelAccountingMatchesFlowChannels) {
   }
 }
 
+// ---- BoundCache: payload-invariant structures vs fresh analysis -----------
+//
+// The cache's contract is BIT-identity: evaluate() of a cached structure
+// must return the exact doubles a fresh analyze_jobs would — across the
+// registry, machines, payload sizes and mappings, serial and threaded.
+
+/// Fresh analysis in the tuner's configuration (bound only, no load
+/// report) — the reference every cached result is compared against.
+Result fresh_bound(const topo::Machine& machine,
+                   const std::vector<JobBinding>& jobs) {
+  Options options;
+  options.load_report = false;
+  options.lower_bound = true;
+  return analyze_jobs(machine, jobs, options);
+}
+
+/// One cached-vs-fresh comparison; returns "" when bit-identical.
+std::string check_cached(BoundCache& cache, const topo::Machine& machine,
+                         const std::string& alg, std::int32_t p,
+                         std::int64_t count,
+                         const std::vector<std::int64_t>& cores) {
+  const simmpi::Plan plan = simmpi::compile_plan(alg, p, count, 0, 1);
+  const std::vector<JobBinding> jobs = {
+      {&plan.schedule, &plan.exec, plan.repetitions, &cores, 0.0}};
+  const Result want = fresh_bound(machine, jobs);
+  const Result got = cache.analyze(machine, jobs);
+  const std::string where = machine.name() + "/" + alg + "/count=" +
+                            std::to_string(count);
+  if (got.clean() != want.clean()) {
+    return where + ": clean() mismatch\n";
+  }
+  std::string failures;
+  if (got.bound.lower_bound != want.bound.lower_bound) {
+    failures += where + ": lower_bound " +
+                std::to_string(got.bound.lower_bound) + " != " +
+                std::to_string(want.bound.lower_bound) + "\n";
+  }
+  if (got.bound.critical_path != want.bound.critical_path) {
+    failures += where + ": critical_path mismatch\n";
+  }
+  if (got.bound.channel_serialization != want.bound.channel_serialization) {
+    failures += where + ": channel_serialization mismatch\n";
+  }
+  return failures;
+}
+
+TEST(BoundCache, EvaluateMatchesFreshAnalysisBitExactly) {
+  // Registry x {hydra, lumi} x three payload sizes x {packed, spread}; the
+  // size axis straddles the eager threshold, so cached evaluation must
+  // re-derive eager flags, transfer floors and compute times — not reuse
+  // the build payload's.
+  const topo::Machine machines[] = {topo::hydra(4), topo::lumi(2)};
+  const std::int64_t counts[] = {64, 2048, 65536};
+  BoundCache cache;
+  std::string failures;
+  for (const auto& machine : machines) {
+    for (const auto& info : simmpi::algorithm_registry()) {
+      const std::int32_t p = pick_p(info, machine.cores());
+      ASSERT_GT(p, 0) << info.name;
+      for (const bool spread : {false, true}) {
+        const auto cores =
+            spread ? spread_cores(p, machine.cores()) : packed_cores(p);
+        for (const std::int64_t count : counts) {
+          failures += check_cached(cache, machine, info.name, p, count, cores);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(failures, "");
+  // The payload axis must have been served from cached structures: the
+  // three sizes of a (machine, algorithm, mapping) cell share one build
+  // whenever the algorithm's schedule shape is size-independent.
+  const BoundCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(BoundCache, ThreadedEvaluateMatchesFresh) {
+  // TSan target: one shared cache, concurrent analyze() calls racing on
+  // the same keys — results must still be bit-identical to fresh analysis.
+  const auto machine = topo::hydra(4);
+  const auto& registry = simmpi::algorithm_registry();
+  const std::int64_t counts[] = {64, 2048, 65536};
+  BoundCache cache;
+  std::mutex mu;
+  std::string failures;
+  util::ThreadPool pool(4);
+  pool.parallel_for(registry.size() * 3, [&](std::size_t i) {
+    const auto& info = registry[i / 3];
+    const std::int64_t count = counts[i % 3];
+    const std::int32_t p = pick_p(info, machine.cores());
+    const std::string f =
+        check_cached(cache, machine, info.name, p, count, packed_cores(p));
+    if (!f.empty()) {
+      const std::lock_guard<std::mutex> lock(mu);
+      failures += f;
+    }
+  });
+  EXPECT_EQ(failures, "");
+}
+
+TEST(BoundCache, ReusesStructureAcrossPayloadSizes) {
+  // Same schedule shape, different payload: the second call must be served
+  // by evaluate() on the first call's structure.
+  const auto machine = topo::hydra(4);
+  BoundCache cache;
+  const simmpi::Plan small = simmpi::compile_plan("allgather_ring", 4, 64);
+  const simmpi::Plan large = simmpi::compile_plan("allgather_ring", 4, 128);
+  const auto cores = packed_cores(4);
+  const std::vector<JobBinding> jsmall = {
+      {&small.schedule, &small.exec, small.repetitions, &cores, 0.0}};
+  const std::vector<JobBinding> jlarge = {
+      {&large.schedule, &large.exec, large.repetitions, &cores, 0.0}};
+  bool reused = true;
+  cache.analyze(machine, jsmall, &reused);
+  EXPECT_FALSE(reused);  // cold: built.
+  const Result got = cache.analyze(machine, jlarge, &reused);
+  EXPECT_TRUE(reused);  // same structure, new payload.
+  const Result want = fresh_bound(machine, jlarge);
+  EXPECT_EQ(got.bound.lower_bound, want.bound.lower_bound);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(BoundCache, LruEvictionClearAndCapacity) {
+  const auto machine = topo::hydra(4);
+  BoundCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const auto cores = packed_cores(4);
+  std::vector<simmpi::Plan> plans;
+  for (const std::string alg :
+       {"allgather_ring", "alltoall_pairwise", "bcast_binomial"}) {
+    plans.push_back(simmpi::compile_plan(alg, 4, 256));
+  }
+  for (const auto& plan : plans) {
+    cache.analyze(machine,
+                  {{&plan.schedule, &plan.exec, plan.repetitions, &cores, 0.0}});
+  }
+  // Three distinct structures through a 2-entry cache: one eviction.
+  EXPECT_EQ(cache.stats().misses, 3);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  // The evicted (least-recent) structure must rebuild — correctly.
+  const std::vector<JobBinding> first = {{&plans[0].schedule, &plans[0].exec,
+                                          plans[0].repetitions, &cores, 0.0}};
+  bool reused = true;
+  const Result got = cache.analyze(machine, first, &reused);
+  EXPECT_FALSE(reused);
+  EXPECT_EQ(got.bound.lower_bound, fresh_bound(machine, first).bound.lower_bound);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0);
+  cache.set_capacity(0);  // unbounded.
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(BoundCache, DefectiveBindingIsNeverCached) {
+  // An unclean analysis (core out of range) must not enter the cache, and
+  // must keep reporting its diagnostics on every call.
+  const auto machine = topo::testbox();
+  BoundCache cache;
+  const simmpi::Plan plan = simmpi::compile_plan("allgather_ring", 4, 16);
+  const std::vector<std::int64_t> bad = {0, 1, 2, 99};
+  const std::vector<JobBinding> jobs = {
+      {&plan.schedule, &plan.exec, plan.repetitions, &bad, 0.0}};
+  for (int i = 0; i < 2; ++i) {
+    const Result r = cache.analyze(machine, jobs);
+    EXPECT_FALSE(r.clean());
+    EXPECT_FALSE(r.report.diagnostics.empty());
+  }
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(BoundCache, SurvivesSourcePlanDestruction) {
+  // The structure deep-copies everything it needs at build time: evaluating
+  // through a DIFFERENT plan object after the build plan is destroyed (the
+  // PlanCache-eviction scenario) must still be safe and exact.
+  const auto machine = topo::hydra(4);
+  BoundCache cache;
+  const auto cores = packed_cores(4);
+  {
+    const simmpi::Plan doomed = simmpi::compile_plan("allgather_ring", 4, 64);
+    cache.analyze(machine, {{&doomed.schedule, &doomed.exec,
+                             doomed.repetitions, &cores, 0.0}});
+  }
+  const simmpi::Plan fresh_plan = simmpi::compile_plan("allgather_ring", 4, 64);
+  const std::vector<JobBinding> jobs = {{&fresh_plan.schedule, &fresh_plan.exec,
+                                         fresh_plan.repetitions, &cores, 0.0}};
+  bool reused = false;
+  const Result got = cache.analyze(machine, jobs, &reused);
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(got.bound.lower_bound,
+            fresh_bound(machine, jobs).bound.lower_bound);
+}
+
 TEST(BindingChannelName, NamesFollowLevelAndKind) {
   const auto m = topo::testbox();  // ⟦2,2,4⟧: 2 nodes, 4 sockets, 16 cores.
   EXPECT_EQ(channel_name(m, 0), "node[0].egress");

@@ -21,6 +21,7 @@
 
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/mr/equivalence.hpp"
+#include "mixradix/simmpi/plan.hpp"
 #include "mixradix/topo/presets.hpp"
 #include "mixradix/tune/report.hpp"
 #include "mixradix/tune/search.hpp"
@@ -243,6 +244,69 @@ TEST(Engine, ShimsMatchEngineFirstOverloads) {
   EXPECT_EQ(shim_json.str(), tune_json(tune_engine, machine, query));
 }
 
+TEST(Engine, BoundCacheIsScopedAndSurfacedInStats) {
+  EngineConfig config;
+  config.bound_cache_capacity = 1;
+  Engine bounded(config);
+  Engine fresh;
+  const auto machine = topo::hydra(2);
+  const simmpi::Plan ring = simmpi::compile_plan("allgather_ring", 4, 64);
+  const simmpi::Plan pair = simmpi::compile_plan("alltoall_pairwise", 4, 64);
+  const std::vector<std::int64_t> cores = {0, 1, 2, 3};
+  // ring, pair, ring through a 1-entry cache: three builds, two evictions.
+  for (const auto* plan : {&ring, &pair, &ring}) {
+    bounded.bound_cache().analyze(
+        machine,
+        {{&plan->schedule, &plan->exec, plan->repetitions, &cores, 0.0}});
+  }
+  const auto stats = bounded.stats();
+  EXPECT_EQ(stats.bound_cache.misses, 3);
+  EXPECT_EQ(stats.bound_cache.entries, 1u);
+  EXPECT_EQ(stats.bound_cache.evictions, 2);
+  // Scoped: another engine's cache saw none of it.
+  EXPECT_EQ(fresh.stats().bound_cache.misses, 0);
+  EXPECT_EQ(fresh.stats().bound_cache.entries, 0u);
+}
+
+TEST(Engine, DedicatedThreadBudgetIsCooperative) {
+  // The budget is process-global state; this test owns it for its scope
+  // and restores the unlimited default on every path out.
+  ASSERT_EQ(Engine::dedicated_thread_budget(), 0u);
+  ASSERT_EQ(Engine::dedicated_threads_in_use(), 0u);
+  Engine::set_dedicated_thread_budget(4);
+  EngineConfig eight;
+  eight.dedicated_threads = 8;
+  {
+    Engine a(eight);
+    EXPECT_EQ(a.dedicated_threads_granted(), 4u);  // clamped to the budget.
+    EXPECT_EQ(Engine::dedicated_threads_in_use(), 4u);
+    // Budget exhausted: a second tenant still gets ONE worker (progress
+    // guarantee) — oversubscription is bounded by one thread per engine,
+    // not by each engine's full request.
+    Engine b(eight);
+    EXPECT_EQ(b.dedicated_threads_granted(), 1u);
+    EXPECT_EQ(Engine::dedicated_threads_in_use(), 5u);
+    // Both tenants stay fully functional at their granted widths, with
+    // byte-identical output.
+    const auto machine = topo::hydra(2);
+    EXPECT_EQ(sweep_csv(a, machine, small_sweep(/*threads=*/4)),
+              sweep_csv(b, machine, small_sweep(/*threads=*/4)));
+  }
+  // Grants return when tenants die (pool joined first), so a successor
+  // sees the whole budget again.
+  EXPECT_EQ(Engine::dedicated_threads_in_use(), 0u);
+  {
+    Engine c(eight);
+    EXPECT_EQ(c.dedicated_threads_granted(), 4u);
+  }
+  Engine::set_dedicated_thread_budget(0);
+  {
+    Engine unlimited(eight);  // 0 = no cap: the full request is granted.
+    EXPECT_EQ(unlimited.dedicated_threads_granted(), 8u);
+  }
+  EXPECT_EQ(Engine::dedicated_threads_in_use(), 0u);
+}
+
 // Two engines with different machines and different plan-cache capacities,
 // interleaving threaded sweeps and tunes on the SAME process-wide pool.
 // Outputs must be byte-identical to serial single-engine references, and
@@ -298,6 +362,32 @@ TEST(MultiEngine, InterleavedWorkMatchesSerialRunsWithDisjointStats) {
   // engine_a's LRU capacity applied only to engine_a.
   EXPECT_LE(engine_a.plan_cache().stats().entries, 2u);
   EXPECT_EQ(engine_b.plan_cache().stats().evictions, 0u);
+}
+
+TEST(MultiEngine, BudgetedDedicatedEnginesRunConcurrently) {
+  // Two dedicated-pool tenants under a budget smaller than their combined
+  // request, driving sweeps at the same time: the cap must change worker
+  // counts only, never output bytes. TSan target for the budget plumbing.
+  ASSERT_EQ(Engine::dedicated_threads_in_use(), 0u);
+  Engine::set_dedicated_thread_budget(3);
+  EngineConfig dedicated;
+  dedicated.dedicated_threads = 4;
+  {
+    Engine a(dedicated);
+    Engine b(dedicated);
+    EXPECT_EQ(a.dedicated_threads_granted(), 3u);
+    EXPECT_EQ(b.dedicated_threads_granted(), 1u);
+    const auto machine = topo::hydra(2);
+    std::string csv_a, csv_b;
+    std::thread worker(
+        [&] { csv_b = sweep_csv(b, machine, small_sweep(/*threads=*/4)); });
+    csv_a = sweep_csv(a, machine, small_sweep(/*threads=*/4));
+    worker.join();
+    EXPECT_FALSE(csv_a.empty());
+    EXPECT_EQ(csv_a, csv_b);
+  }
+  Engine::set_dedicated_thread_budget(0);
+  EXPECT_EQ(Engine::dedicated_threads_in_use(), 0u);
 }
 
 TEST(MultiEngine, ConcurrentTunesMatchSerialReferences) {

@@ -20,6 +20,7 @@
 #include <sstream>
 #include <vector>
 
+#include "mixradix/engine/engine.hpp"
 #include "mixradix/harness/microbench.hpp"
 #include "mixradix/topo/presets.hpp"
 #include "mixradix/tune/report.hpp"
@@ -345,6 +346,116 @@ TEST(Tune, CollectiveNamesRoundTrip) {
   }
   EXPECT_THROW(parse_collective("alltoallw"), invalid_argument);
   EXPECT_THROW(parse_collective(""), invalid_argument);
+}
+
+TEST(Tune, BoundCacheDoesNotChangeTheReport) {
+  // use_bound_cache routes stage-2 bounds through the engine's BoundCache
+  // (one payload-invariant structure per binding class, evaluated per
+  // payload point). The cached evaluate IS the uncached analysis bit for
+  // bit, so the canonical report must not change by a byte — bounds, visit
+  // order, prunes, scores, ranking.
+  const auto machine = topo::hydra(2);
+  TuneQuery query;
+  query.comm_sizes = {16};
+  query.total_bytes = {256 << 10, 512 << 10, 1 << 20};
+  query.k = 2;
+  query.threads = 1;
+
+  Engine cached_engine;
+  query.use_bound_cache = true;
+  const TuneReport cached = tune(cached_engine, machine, query);
+  Engine fresh_engine;
+  query.use_bound_cache = false;
+  const TuneReport fresh = tune(fresh_engine, machine, query);
+
+  std::ostringstream cached_json, fresh_json;
+  write_json(cached_json, cached, /*candidates=*/true);
+  write_json(fresh_json, fresh, /*candidates=*/true);
+  EXPECT_EQ(cached_json.str(), fresh_json.str());
+
+  // Accounting: every (candidate, point) bound is either a build or a
+  // reuse; with the cache off, every one is a build.
+  const auto npoints = static_cast<std::int64_t>(cached.points.size());
+  EXPECT_EQ(cached.stats.bound_structures_built +
+                cached.stats.bound_structure_reuses,
+            cached.stats.bounds_computed * npoints);
+  EXPECT_GT(cached.stats.bound_structure_reuses, 0);
+  EXPECT_EQ(fresh.stats.bound_structure_reuses, 0);
+  EXPECT_EQ(fresh.stats.bound_structures_built,
+            fresh.stats.bounds_computed * npoints);
+  // The engine's cache saw the traffic; the uncached engine's did not.
+  EXPECT_GT(cached_engine.stats().bound_cache.hits, 0);
+  EXPECT_EQ(fresh_engine.stats().bound_cache.hits, 0);
+}
+
+TEST(Tune, IncrementalReTuneMatchesColdTopK) {
+  // The canonical incremental shape: the payload grid grew. Seeding from
+  // the subset-grid report must reproduce the cold full-grid top-k exactly
+  // (same orders, bit-identical scores) without simulating more candidates.
+  const auto machine = topo::hydra(2);
+  TuneQuery full;
+  full.comm_sizes = {16};
+  full.total_bytes = {256 << 10, 512 << 10, 1 << 20};
+  full.k = 2;
+  full.threads = 1;
+
+  Engine engine;
+  const TuneReport cold = tune(engine, machine, full);
+
+  TuneQuery subset = full;
+  subset.total_bytes = {256 << 10};
+  const TuneReport previous = tune(engine, machine, subset);
+  const TuneReport seeded = tune(engine, machine, full, &previous);
+
+  EXPECT_GT(seeded.stats.seeded_candidates, 0);
+  EXPECT_LE(seeded.stats.simulated, cold.stats.simulated);
+  ASSERT_EQ(seeded.top.size(), cold.top.size());
+  for (std::size_t rank = 0; rank < cold.top.size(); ++rank) {
+    const TuneCandidate& got = seeded.candidates[seeded.top[rank]];
+    const TuneCandidate& want = cold.candidates[cold.top[rank]];
+    EXPECT_EQ(got.order, want.order) << "rank " << rank;
+    EXPECT_EQ(got.score, want.score) << "rank " << rank;
+    EXPECT_EQ(got.points.size(), want.points.size());
+    for (std::size_t pt = 0; pt < want.points.size(); ++pt) {
+      EXPECT_EQ(got.points[pt].makespan, want.points[pt].makespan);
+    }
+  }
+  // Seeds are provenance-visible: wave 0, counted in the canonical stats.
+  std::int64_t wave0 = 0;
+  for (const TuneCandidate& c : seeded.candidates) {
+    if (c.fate == Fate::Simulated && c.wave == 0) ++wave0;
+  }
+  EXPECT_EQ(wave0, seeded.stats.seeded_candidates);
+}
+
+TEST(Tune, IncompatiblePreviousReportDegeneratesToColdRun) {
+  // A previous report that fails any compatibility gate (here: a point
+  // outside the new grid, and a different repetition count) must leave the
+  // run byte-identical to a cold one — not silently half-seed it.
+  const auto machine = topo::hydra(2);
+  TuneQuery query;
+  query.comm_sizes = {16};
+  query.total_bytes = {256 << 10};
+  query.k = 2;
+  query.threads = 1;
+
+  Engine engine;
+  const auto json_of = [&](const TuneReport& r) {
+    std::ostringstream os;
+    write_json(os, r, /*candidates=*/true);
+    return os.str();
+  };
+  const std::string cold = json_of(tune(engine, machine, query));
+
+  TuneQuery superset = query;
+  superset.total_bytes = {256 << 10, 1 << 20};  // NOT a subset of `query`.
+  const TuneReport wider = tune(engine, machine, superset);
+  EXPECT_EQ(json_of(tune(engine, machine, query, &wider)), cold);
+
+  TuneQuery reps = query;
+  reps.repetitions = query.repetitions + 1;
+  const TuneReport other_reps = tune(engine, machine, reps);
+  EXPECT_EQ(json_of(tune(engine, machine, query, &other_reps)), cold);
 }
 
 TEST(Tune, SweepScreeningReplacesOrdersWithTheTopK) {
